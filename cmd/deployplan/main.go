@@ -1,0 +1,53 @@
+// Command deployplan prints the topology-aware launch plan for the paper's
+// Grid'5000 deployment (§3.1/§6.1): which component runs at which site, the
+// shell commands that bring the hierarchy up with dietagent/dietsed, and the
+// wide-area cost comparison against a naive flat hierarchy.
+//
+//	deployplan -naming ma-host:9001
+//	deployplan -flat            # show the naive plan instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/deploy"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		namingAddr = flag.String("naming", "127.0.0.1:9001", "naming service host:port")
+		flat       = flag.Bool("flat", false, "plan a flat single-LA hierarchy instead")
+	)
+	flag.Parse()
+
+	dep := platform.PaperDeployment()
+	plat := platform.Grid5000()
+
+	topo, err := deploy.Topology(dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flatPlan, err := deploy.Flat(dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := topo
+	label := "topology-aware (paper §3.1)"
+	if *flat {
+		plan = flatPlan
+		label = "flat (naive baseline)"
+	}
+
+	fmt.Printf("deployment plan: %s\n", label)
+	fmt.Printf("  components: 1 MA + %d LAs + %d SeDs (+ naming)\n", len(plan.LAs), len(plan.SeDs))
+	fmt.Printf("  WAN messages per scheduling request: %d (flat plan: %d)\n",
+		plan.WANMessagesPerRequest(), flatPlan.WANMessagesPerRequest())
+	fmt.Printf("  estimate-collection latency bound: %.1f ms\n\n", 1000*plan.CollectLatency(plat))
+
+	for _, cmd := range plan.Commands(*namingAddr) {
+		fmt.Println(cmd)
+	}
+}

@@ -1,0 +1,90 @@
+// Command dietagent launches a DIET scheduling agent — the Master Agent or a
+// Local Agent — over TCP, optionally hosting the naming service for the
+// whole deployment (the role omniORB's name server plays in the paper's
+// §6.1 deployment).
+//
+// Typical bring-up, mirroring the paper's 1 MA + 6 LA hierarchy:
+//
+//	dietagent -name MA1 -kind MA -with-naming -listen :9000
+//	dietagent -name LA-Nancy -kind LA -parent MA1 -naming host:9001 -listen :9100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/diet"
+	"repro/internal/naming"
+	"repro/internal/rpc"
+	"repro/internal/scheduler"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	var (
+		name       = flag.String("name", "MA1", "component name")
+		kind       = flag.String("kind", "MA", "agent kind: MA or LA")
+		parent     = flag.String("parent", "", "parent agent name (LA only)")
+		namingAddr = flag.String("naming", "", "naming service address (host:port)")
+		withNaming = flag.Bool("with-naming", false, "host the naming service in this process")
+		namingPort = flag.String("naming-listen", ":9001", "naming service listen address (with -with-naming)")
+		listen     = flag.String("listen", ":9000", "agent listen address")
+		policy     = flag.String("policy", "roundrobin", "MA scheduling policy: roundrobin, random, mct, poweraware")
+		seed       = flag.Int64("seed", 1, "seed for the random policy")
+	)
+	flag.Parse()
+
+	if *withNaming {
+		ns := naming.NewService()
+		server := rpc.NewServer()
+		server.Register(naming.ObjectName, ns.Handler())
+		addr, err := server.Start(*namingPort)
+		if err != nil {
+			log.Fatalf("starting naming service: %v", err)
+		}
+		defer server.Close()
+		*namingAddr = addr
+		log.Printf("naming service listening on %s", addr)
+	}
+	if *namingAddr == "" {
+		fmt.Fprintln(os.Stderr, "either -naming or -with-naming is required")
+		os.Exit(2)
+	}
+
+	var agentKind diet.AgentKind
+	switch *kind {
+	case "MA":
+		agentKind = diet.MasterAgent
+	case "LA":
+		agentKind = diet.LocalAgent
+	default:
+		log.Fatalf("unknown agent kind %q (want MA or LA)", *kind)
+	}
+	pol, err := scheduler.ByName(*policy, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	agent, err := diet.NewAgent(diet.AgentConfig{
+		Name: *name, Kind: agentKind, Parent: *parent,
+		Naming: *namingAddr, Policy: pol, ListenAddr: *listen,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := agent.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s %s serving on %s (policy %s, naming %s)",
+		*kind, *name, agent.Addr(), pol.Name(), *namingAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down %s", *name)
+	agent.Close()
+}

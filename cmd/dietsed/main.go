@@ -1,0 +1,66 @@
+// Command dietsed launches a Server Daemon hosting the two RAMSES services
+// of the paper (ramsesZoom1 and ramsesZoom2) and blocks forever, like the C
+// API's diet_SeD() call which "will never return".
+//
+//	dietsed -name Nancy1 -parent LA-Nancy -naming host:9001 -power 63.8 -workdir /tmp/sed
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/diet"
+	"repro/internal/services"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	var (
+		name       = flag.String("name", "SeD1", "component name")
+		parent     = flag.String("parent", "", "parent agent name")
+		namingAddr = flag.String("naming", "", "naming service address (required)")
+		listen     = flag.String("listen", ":0", "SeD listen address")
+		capacity   = flag.Int("capacity", 1, "concurrent solves (the paper's SeDs run 1)")
+		power      = flag.Float64("power", 50, "advertised processing power, GFlops")
+		cluster    = flag.String("cluster", "", "cluster label for reporting")
+		workdir    = flag.String("workdir", "", "working directory (default: a temp dir)")
+	)
+	flag.Parse()
+	if *namingAddr == "" {
+		log.Fatal("-naming is required")
+	}
+	dir := *workdir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "dietsed-"+*name+"-")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sed, err := diet.NewSeD(diet.SeDConfig{
+		Name: *name, Parent: *parent, Naming: *namingAddr,
+		Capacity: *capacity, PowerGFlops: *power, Cluster: *cluster,
+		WorkDir: dir, ListenAddr: *listen,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := services.Register(sed, dir); err != nil {
+		log.Fatal(err)
+	}
+	if err := sed.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("SeD %s serving on %s (services %v, workdir %s)",
+		*name, sed.Addr(), sed.ServiceNames(), dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down SeD %s", *name)
+	sed.Close()
+}

@@ -1,0 +1,117 @@
+// Command experiment regenerates the paper's evaluation (§6) at full scale
+// with the discrete-event simulator: the Figure 5 distribution and per-SeD
+// execution times, the Figure 6 finding-time and latency series, the §6.2
+// totals, and — with -compare — the scheduling ablation the paper proposes
+// as future work.
+//
+//	experiment -all                      # everything, round-robin (the paper's run)
+//	experiment -fig5 -scheduler poweraware
+//	experiment -compare                  # round-robin vs power-aware makespan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/scheduler"
+	"repro/internal/simgrid"
+)
+
+func main() {
+	var (
+		policyName = flag.String("scheduler", "roundrobin", "policy: roundrobin, random, mct, poweraware")
+		requests   = flag.Int("requests", 100, "phase-2 sub-simulations")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		fig5       = flag.Bool("fig5", false, "print the Figure 5 distribution")
+		fig6       = flag.Bool("fig6", false, "print the Figure 6 series")
+		totals     = flag.Bool("totals", false, "print the §6.2 totals")
+		all        = flag.Bool("all", false, "print everything")
+		compare    = flag.Bool("compare", false, "run the scheduler ablation (A1)")
+		batch      = flag.Bool("batch", false, "route solves through OAR-style reservations (A3)")
+		grantS     = flag.Float64("batch-grant", 30, "reservation grant delay, seconds")
+		sweep      = flag.Bool("sweep", false, "run the capacity/workload scaling sweeps (A4)")
+		arrivalGap = flag.Float64("arrival-gap", 0, "seconds between phase-2 submissions (0 = the paper's burst)")
+	)
+	flag.Parse()
+	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep {
+		*all = true
+	}
+
+	run := func(name string) *simgrid.ExperimentResult {
+		pol, err := scheduler.ByName(name, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := simgrid.DefaultExperiment(pol)
+		cfg.NRequests = *requests
+		cfg.Seed = *seed
+		cfg.BatchMode = *batch
+		cfg.BatchGrantS = *grantS
+		cfg.ArrivalGapS = *arrivalGap
+		res, err := simgrid.RunExperiment(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	if *sweep {
+		mk := func() scheduler.Policy {
+			pol, err := scheduler.ByName(*policyName, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return pol
+		}
+		fmt.Printf("Sweep A4a — makespan vs SeD count (%d requests, policy=%s):\n", *requests, *policyName)
+		points, err := simgrid.SweepSeDs(mk, []int{1, 2, 3, 4}, *requests)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  SeDs  makespan_h  speedup  mean_latency_h")
+		for _, p := range points {
+			fmt.Printf("  %4d  %10.2f  %7.1f  %14.2f\n", p.SeDs, p.MakespanHours, p.Speedup, p.MeanLatencyMS/3.6e6)
+		}
+		fmt.Printf("\nSweep A4b — makespan vs campaign size (11 SeDs, policy=%s):\n", *policyName)
+		points, err = simgrid.SweepRequests(mk, []int{25, 50, 100, 200, 400})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  reqs  makespan_h  speedup  mean_latency_h")
+		for _, p := range points {
+			fmt.Printf("  %4d  %10.2f  %7.1f  %14.2f\n", p.Requests, p.MakespanHours, p.Speedup, p.MeanLatencyMS/3.6e6)
+		}
+		return
+	}
+
+	if *compare {
+		fmt.Println("Ablation A1 — default equal distribution vs the plug-in scheduler (paper §8):")
+		for _, name := range []string{"roundrobin", "random", "mct", "poweraware"} {
+			res := run(name)
+			fmt.Printf("  %-11s makespan %s  (%.2fh)  speedup %.1fx\n",
+				name, simgrid.Hours(res.TotalS), res.MakespanHours(),
+				res.SequentialS/res.TotalS)
+		}
+		rr, pa := run("roundrobin"), run("poweraware")
+		fmt.Printf("  plug-in scheduler saves %s (%.1f%%)\n",
+			simgrid.Hours(rr.TotalS-pa.TotalS), 100*(rr.TotalS-pa.TotalS)/rr.TotalS)
+		return
+	}
+
+	res := run(*policyName)
+	if *all || *fig5 {
+		res.PrintGantt(os.Stdout, 96)
+		fmt.Println()
+		res.PrintFig5(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *fig6 {
+		res.PrintFig6(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *totals {
+		res.PrintTotals(os.Stdout)
+	}
+}

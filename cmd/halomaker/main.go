@@ -1,0 +1,59 @@
+// Command halomaker is the first GALICS post-processing stage (paper §4):
+// it detects dark-matter halos in a RAMSES snapshot with friends-of-friends
+// and writes the halo catalog.
+//
+//	halomaker -in run/output_00002/part.dat -o halos_002.dat
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/halo"
+	"repro/internal/ramses"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input RAMSES snapshot (part.dat)")
+		out     = flag.String("o", "halos.dat", "output catalog file")
+		b       = flag.Float64("b", 0.2, "FoF linking length, mean-separation units")
+		minPart = flag.Int("minpart", 20, "minimum particles per halo")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := ramses.ReadSnapshot(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat, err := halo.FindHalos(snap.Parts, snap.A, snap.Box, halo.Params{
+		LinkingLength: *b, MinParticles: *minPart,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := halo.SaveCatalog(*out, cat); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot a=%.3f: %d particles → %d halos (b=%.2f, min %d)\n",
+		snap.A, len(snap.Parts), len(cat.Halos), *b, *minPart)
+	for i, h := range cat.Halos {
+		if i >= 10 {
+			fmt.Printf("  … %d more\n", len(cat.Halos)-10)
+			break
+		}
+		fmt.Printf("  halo %3d: %6d particles  M=%.3e M☉/h  pos=(%.3f %.3f %.3f)\n",
+			h.ID, h.NPart, h.Mass, h.Pos[0], h.Pos[1], h.Pos[2])
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,149 @@
+// Command zoomclient is the paper's client (§6.1): it requests one
+// low-resolution ramsesZoom1 survey, extracts the halo catalog, then submits
+// all the ramsesZoom2 sub-simulations simultaneously and reports the same
+// quantities the paper measures — per-SeD distribution, finding time and
+// latency per request, and the campaign totals.
+//
+//	zoomclient -config client.cfg -requests 100 -npart 16 -out /tmp/results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/diet"
+	"repro/internal/halo"
+	"repro/internal/ramses"
+	"repro/internal/services"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	var (
+		config   = flag.String("config", "", "client configuration file (namingAddr=..., MAName=...)")
+		requests = flag.Int("requests", 10, "number of phase-2 sub-simulations")
+		npart    = flag.Int("npart", 16, "particles per axis (power of two)")
+		box      = flag.Float64("box", 100, "box size, Mpc/h")
+		levels   = flag.Int("levels", 2, "nested zoom levels per sub-simulation")
+		steps    = flag.Int("steps", 4, "integrator steps per output")
+		seed     = flag.Int64("seed", 42, "initial-conditions seed")
+		outDir   = flag.String("out", "", "directory for returned tarballs (default: discard)")
+		fofB     = flag.Float64("fof-b", 0.2, "FoF linking length, mean-separation units")
+		fofMin   = flag.Int("fof-minpart", 8, "minimum particles per halo")
+	)
+	flag.Parse()
+	if *config == "" {
+		log.Fatal("-config is required")
+	}
+
+	client, err := diet.Initialize(*config)
+	if err != nil {
+		log.Fatalf("diet_initialize: %v", err)
+	}
+	defer client.Finalize()
+
+	cfg := ramses.DefaultConfig()
+	cfg.NPart = *npart
+	cfg.Box = *box
+	cfg.Seed = *seed
+	cfg.StepsPerOutput = *steps
+	cfg.FoF = halo.Params{LinkingLength: *fofB, MinParticles: *fofMin}
+
+	// ----- Phase 1: the low-resolution survey.
+	start := time.Now()
+	p1, err := services.NewZoom1Profile(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info1, err := client.Call(p1)
+	if err != nil {
+		log.Fatalf("ramsesZoom1 failed: %v", err)
+	}
+	catalog, err := services.Zoom1Result(p1)
+	if err != nil {
+		log.Fatalf("ramsesZoom1 returned no catalog: %v", err)
+	}
+	log.Printf("phase 1 done on %s in %v: %d halos found",
+		info1.Server, info1.Total.Round(time.Millisecond), len(catalog.Halos))
+	if len(catalog.Halos) == 0 {
+		log.Fatal("no halos to re-simulate; increase -npart or -steps")
+	}
+
+	// ----- Phase 2: all sub-simulations at once, one per halo (cycling).
+	var calls []*diet.AsyncCall
+	var profiles []*diet.Profile
+	for i := 0; i < *requests; i++ {
+		h := catalog.Halos[i%len(catalog.Halos)]
+		cx := int(h.Pos[0] * float64(cfg.NPart))
+		cy := int(h.Pos[1] * float64(cfg.NPart))
+		cz := int(h.Pos[2] * float64(cfg.NPart))
+		p, err := services.NewZoom2Profile(cfg, cx, cy, cz, *levels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = append(profiles, p)
+		calls = append(calls, client.CallAsync(p))
+	}
+	if err := diet.WaitAll(calls); err != nil {
+		log.Fatalf("phase 2: %v", err)
+	}
+	total := time.Since(start)
+
+	// ----- Collect results and report the paper's quantities.
+	perServer := make(map[string]int)
+	perServerBusy := make(map[string]time.Duration)
+	var sumFind, sumLatency, sumCompute time.Duration
+	fmt.Println("req  server          find        latency       compute")
+	for i, c := range calls {
+		info, err := c.Wait()
+		if err != nil {
+			log.Fatalf("request %d: %v", i, err)
+		}
+		perServer[info.Server]++
+		perServerBusy[info.Server] += info.Compute
+		sumFind += info.Finding
+		sumLatency += info.Latency
+		sumCompute += info.Compute
+		fmt.Printf("%3d  %-12s %9.1fms %12.1fms %12.1fms\n", i, info.Server,
+			ms(info.Finding), ms(info.Latency), ms(info.Compute))
+		if *outDir != "" {
+			name, tarball, err := services.Zoom2Result(profiles[i])
+			if err != nil {
+				log.Printf("request %d result: %v", i, err)
+				continue
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("zoom_%03d_%s", i, name))
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(path, tarball, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Println("\nDistribution over the SeDs (paper Figure 5):")
+	var names []string
+	for s := range perServer {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		fmt.Printf("  %-12s %3d requests  busy %v\n", s, perServer[s], perServerBusy[s].Round(time.Millisecond))
+	}
+	n := float64(len(calls))
+	fmt.Printf("\nTotals (paper §6.2):\n")
+	fmt.Printf("  whole experiment        %v\n", total.Round(time.Millisecond))
+	fmt.Printf("  phase 1                 %v\n", info1.Total.Round(time.Millisecond))
+	fmt.Printf("  mean find time          %.1f ms\n", ms(sumFind)/n)
+	fmt.Printf("  mean latency            %.1f ms\n", ms(sumLatency)/n)
+	fmt.Printf("  sequential baseline     %v\n", (sumCompute + info1.Compute).Round(time.Millisecond))
+	fmt.Printf("  speedup                 %.2fx\n", float64(sumCompute+info1.Compute)/float64(total))
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,139 @@
+// Paramsweep explores "new research axes in cosmological simulations (on
+// various low resolutions initial conditions)" — the use case the paper's
+// conclusion names. It sweeps the σ₈ normalisation and the random seed over
+// a heterogeneous pool of SeDs with the MCT plug-in scheduler, and reports
+// how structure formation responds (halo counts at z=0) together with the
+// load balance the scheduler achieved.
+//
+//	go run ./examples/paramsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/halo"
+	"repro/internal/ramses"
+	"repro/internal/services"
+)
+
+func main() {
+	base, err := os.MkdirTemp("", "paramsweep-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+
+	var seds []core.SeDSpec
+	powers := []float64{40, 50, 60, 70}
+	for i, p := range powers {
+		seds = append(seds, core.SeDSpec{
+			Name: fmt.Sprintf("SeD%d", i+1), Parent: "LA1",
+			Capacity: 1, PowerGFlops: p,
+			Services: []core.ServiceSpec{
+				{Desc: services.Zoom1Desc(), Solve: services.SolveZoom1(base)},
+			},
+		})
+	}
+	deployment, err := core.Deploy(core.DeploymentSpec{
+		MAName: "MA1",
+		LAs:    []string{"LA1"},
+		SeDs:   seds,
+		Policy: core.NewMCT(), // queue-aware placement for the burst
+		Local:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer deployment.Close()
+
+	client, err := deployment.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type point struct {
+		sigma8 float64
+		seed   int64
+	}
+	var sweep []point
+	for _, s8 := range []float64{0.6, 0.74, 0.9} {
+		for seed := int64(1); seed <= 3; seed++ {
+			sweep = append(sweep, point{s8, seed})
+		}
+	}
+
+	start := time.Now()
+	type outcome struct {
+		point
+		server string
+		halos  int
+		mass   float64
+	}
+	results := make([]outcome, len(sweep))
+	calls := make([]*core.AsyncCall, len(sweep))
+	profiles := make([]*core.Profile, len(sweep))
+	for i, pt := range sweep {
+		cfg := ramses.DefaultConfig()
+		cfg.NPart = 16
+		cfg.Astart = 0.1
+		cfg.Aout = []float64{1.0}
+		cfg.StepsPerOutput = 6
+		cfg.Seed = pt.seed
+		cfg.FoF = halo.Params{LinkingLength: 0.25, MinParticles: 8}
+		c := *cfg.Cosmo
+		c.Sigma8 = pt.sigma8
+		cfg.Cosmo = &c
+		p, err := services.NewZoom1Profile(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles[i] = p
+		calls[i] = client.CallAsync(p)
+	}
+	if err := core.WaitAll(calls); err != nil {
+		log.Fatal(err)
+	}
+	for i := range sweep {
+		info, _ := calls[i].Wait()
+		cat, err := services.Zoom1Result(profiles[i])
+		if err != nil {
+			log.Fatalf("sweep point %d: %v", i, err)
+		}
+		var topMass float64
+		if len(cat.Halos) > 0 {
+			topMass = cat.Halos[0].Mass
+		}
+		results[i] = outcome{point: sweep[i], server: info.Server, halos: len(cat.Halos), mass: topMass}
+	}
+
+	fmt.Printf("parameter sweep: %d simulations in %v over %d SeDs (MCT scheduling)\n\n",
+		len(sweep), time.Since(start).Round(time.Millisecond), len(powers))
+	fmt.Println("sigma8  seed  server  halos  top-halo mass (M☉/h)")
+	for _, r := range results {
+		fmt.Printf("%6.2f  %4d  %-6s  %5d  %.3e\n", r.sigma8, r.seed, r.server, r.halos, r.mass)
+	}
+
+	// Higher σ₈ ⇒ more collapsed structure; verify the trend seed by seed.
+	fmt.Println("\nhalo counts by sigma8 (averaged over seeds):")
+	bySigma := map[float64][]int{}
+	for _, r := range results {
+		bySigma[r.sigma8] = append(bySigma[r.sigma8], r.halos)
+	}
+	var sigmas []float64
+	for s := range bySigma {
+		sigmas = append(sigmas, s)
+	}
+	sort.Float64s(sigmas)
+	for _, s := range sigmas {
+		sum := 0
+		for _, h := range bySigma[s] {
+			sum += h
+		}
+		fmt.Printf("  sigma8=%.2f  mean halos %.1f\n", s, float64(sum)/float64(len(bySigma[s])))
+	}
+}

@@ -1,0 +1,137 @@
+// Zoomsim runs the paper's two-phase campaign end to end at laptop scale,
+// through the real middleware: a low-resolution ramsesZoom1 survey finds the
+// dark-matter halos, then every halo is re-simulated at higher resolution
+// with ramsesZoom2 on a small grid of SeDs, and the GALICS results come back
+// as tarballs — §4–§6 of the paper in one process.
+//
+//	go run ./examples/zoomsim
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/halo"
+	"repro/internal/ramses"
+	"repro/internal/services"
+)
+
+func main() {
+	base, err := os.MkdirTemp("", "zoomsim-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+
+	// Three SeDs on two "clusters" with different processing powers, a
+	// miniature of the paper's heterogeneous 11-SeD deployment.
+	var seds []core.SeDSpec
+	for _, s := range []struct {
+		name    string
+		cluster string
+		power   float64
+	}{
+		{"Nancy1", "nancy", 63.8},
+		{"Toulouse1", "toulouse", 44.8},
+		{"Lyon1", "lyon", 53.8},
+	} {
+		seds = append(seds, core.SeDSpec{
+			Name: s.name, Parent: "LA-" + s.cluster, Cluster: s.cluster,
+			Capacity: 1, PowerGFlops: s.power,
+			Services: []core.ServiceSpec{
+				{Desc: services.Zoom1Desc(), Solve: services.SolveZoom1(base)},
+				{Desc: services.Zoom2Desc(), Solve: services.SolveZoom2(base)},
+			},
+		})
+	}
+	deployment, err := core.Deploy(core.DeploymentSpec{
+		MAName: "MA1",
+		LAs:    []string{"LA-nancy", "LA-toulouse", "LA-lyon"},
+		SeDs:   seds,
+		Local:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer deployment.Close()
+
+	client, err := deployment.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := ramses.DefaultConfig()
+	cfg.NPart = 16
+	cfg.Astart = 0.1
+	cfg.Aout = []float64{0.5, 1.0}
+	cfg.StepsPerOutput = 6
+	cfg.FoF = halo.Params{LinkingLength: 0.25, MinParticles: 8}
+
+	// Phase 1: the survey.
+	start := time.Now()
+	p1, err := services.NewZoom1Profile(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info1, err := client.Call(p1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalog, err := services.Zoom1Result(p1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1 on %s (%v): %d halos\n",
+		info1.Server, info1.Total.Round(time.Millisecond), len(catalog.Halos))
+
+	// Phase 2: re-simulate every halo, all requests at once.
+	nzoom := len(catalog.Halos)
+	if nzoom > 6 {
+		nzoom = 6
+	}
+	var calls []*core.AsyncCall
+	var profiles []*core.Profile
+	for i := 0; i < nzoom; i++ {
+		h := catalog.Halos[i]
+		p, err := services.NewZoom2Profile(cfg,
+			int(h.Pos[0]*float64(cfg.NPart)),
+			int(h.Pos[1]*float64(cfg.NPart)),
+			int(h.Pos[2]*float64(cfg.NPart)), 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = append(profiles, p)
+		calls = append(calls, client.CallAsync(p))
+	}
+	if err := core.WaitAll(calls); err != nil {
+		log.Fatal(err)
+	}
+
+	perServer := map[string]int{}
+	for i, c := range calls {
+		info, _ := c.Wait()
+		perServer[info.Server]++
+		name, tarball, err := services.Zoom2Result(profiles[i])
+		if err != nil {
+			log.Fatalf("zoom %d: %v", i, err)
+		}
+		fmt.Printf("zoom %d: halo %d re-simulated on %-10s → %s (%d bytes, latency %v)\n",
+			i, catalog.Halos[i].ID, info.Server, name, len(tarball),
+			info.Latency.Round(time.Millisecond))
+	}
+
+	fmt.Printf("\ncampaign of 1+%d simulations finished in %v\n", nzoom,
+		time.Since(start).Round(time.Millisecond))
+	var names []string
+	for s := range perServer {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		fmt.Printf("  %-10s served %d zoom requests\n", s, perServer[s])
+	}
+}

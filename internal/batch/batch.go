@@ -1,0 +1,313 @@
+// Package batch implements an OAR-style cluster batch system: jobs request a
+// number of nodes and a walltime, wait in a queue scheduled FIFO with
+// conservative backfilling, and run when their reservation starts. The paper
+// names "transparent reservations of the resources on batch systems like
+// OAR" as the DIET batch-system integration (§8); this package provides that
+// substrate plus the Executor adapter a SeD plugs in.
+package batch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle state of a batch job.
+type JobState int
+
+// Job states.
+const (
+	Waiting JobState = iota
+	Running
+	Done
+	Failed
+	Cancelled
+)
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case Waiting:
+		return "Waiting"
+	case Running:
+		return "Running"
+	case Done:
+		return "Done"
+	case Failed:
+		return "Failed"
+	}
+	return "Cancelled"
+}
+
+// Job is one batch submission.
+type Job struct {
+	ID       int
+	Name     string
+	Nodes    int
+	Walltime time.Duration
+	Script   func() error
+
+	mu       sync.Mutex
+	state    JobState
+	err      error
+	submit   time.Time
+	start    time.Time
+	end      time.Time
+	finished chan struct{}
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the script error after completion.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// WaitTime returns how long the job waited in queue (valid once started).
+func (j *Job) WaitTime() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.start.IsZero() {
+		return 0
+	}
+	return j.start.Sub(j.submit)
+}
+
+// Config sizes the managed cluster.
+type Config struct {
+	TotalNodes int
+	// Backfill enables conservative backfilling: a queued job may jump ahead
+	// when it fits in the currently free nodes without delaying the head job
+	// (using walltime as the head job's runtime bound).
+	Backfill bool
+}
+
+// System is the batch scheduler for one cluster.
+type System struct {
+	cfg Config
+
+	mu      sync.Mutex
+	nextID  int
+	free    int
+	queue   []*Job
+	running map[int]*Job
+	closed  bool
+
+	// stats
+	submitted int
+	completed int
+	failed    int
+}
+
+// New creates a batch system managing cfg.TotalNodes nodes.
+func New(cfg Config) (*System, error) {
+	if cfg.TotalNodes < 1 {
+		return nil, fmt.Errorf("batch: TotalNodes must be >= 1, got %d", cfg.TotalNodes)
+	}
+	return &System{cfg: cfg, free: cfg.TotalNodes, running: make(map[int]*Job)}, nil
+}
+
+// Submit enqueues a job; the script will run on a goroutine once the
+// scheduler grants the reservation. Like "oarsub" it returns immediately.
+func (s *System) Submit(name string, nodes int, walltime time.Duration, script func() error) (*Job, error) {
+	if nodes < 1 || nodes > s.cfg.TotalNodes {
+		return nil, fmt.Errorf("batch: job %q requests %d nodes, cluster has %d", name, nodes, s.cfg.TotalNodes)
+	}
+	if walltime <= 0 {
+		return nil, fmt.Errorf("batch: job %q needs a positive walltime", name)
+	}
+	if script == nil {
+		return nil, fmt.Errorf("batch: job %q has no script", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("batch: system is shut down")
+	}
+	s.nextID++
+	j := &Job{
+		ID: s.nextID, Name: name, Nodes: nodes, Walltime: walltime,
+		Script: script, state: Waiting, submit: time.Now(),
+		finished: make(chan struct{}),
+	}
+	s.queue = append(s.queue, j)
+	s.submitted++
+	s.schedule()
+	return j, nil
+}
+
+// schedule starts every queued job that may run now. Caller holds s.mu.
+// FIFO order; with Backfill enabled, later jobs that fit in the free nodes
+// may start as long as the head job is not delayed (its start bound is the
+// earliest completion among running jobs that frees enough nodes, estimated
+// with walltimes — conservative backfilling).
+func (s *System) schedule() {
+	if len(s.queue) == 0 {
+		return
+	}
+	// Start from the head while it fits.
+	for len(s.queue) > 0 && s.queue[0].Nodes <= s.free {
+		s.startLocked(s.queue[0])
+		s.queue = s.queue[1:]
+	}
+	if !s.cfg.Backfill || len(s.queue) == 0 {
+		return
+	}
+	head := s.queue[0]
+	shadow := s.headStartBound(head)
+	var rest []*Job
+	rest = append(rest, head)
+	for _, j := range s.queue[1:] {
+		// Backfill j if it fits now and is bounded to finish before the
+		// head's projected start (or doesn't touch nodes the head needs).
+		if j.Nodes <= s.free && time.Now().Add(j.Walltime).Before(shadow) {
+			s.startLocked(j)
+			continue
+		}
+		rest = append(rest, j)
+	}
+	s.queue = rest
+}
+
+// headStartBound estimates when enough nodes free up for the head job,
+// assuming running jobs use their full walltime.
+func (s *System) headStartBound(head *Job) time.Time {
+	type release struct {
+		at    time.Time
+		nodes int
+	}
+	var rel []release
+	for _, j := range s.running {
+		j.mu.Lock()
+		rel = append(rel, release{at: j.start.Add(j.Walltime), nodes: j.Nodes})
+		j.mu.Unlock()
+	}
+	sort.Slice(rel, func(i, k int) bool { return rel[i].at.Before(rel[k].at) })
+	free := s.free
+	for _, r := range rel {
+		free += r.nodes
+		if free >= head.Nodes {
+			return r.at
+		}
+	}
+	// Should not happen (job validated against TotalNodes); far future.
+	return time.Now().Add(24 * time.Hour)
+}
+
+// startLocked transitions a job to Running and launches its script.
+func (s *System) startLocked(j *Job) {
+	s.free -= j.Nodes
+	s.running[j.ID] = j
+	j.mu.Lock()
+	j.state = Running
+	j.start = time.Now()
+	j.mu.Unlock()
+	go func() {
+		err := j.Script()
+		j.mu.Lock()
+		j.end = time.Now()
+		if err != nil {
+			j.state = Failed
+			j.err = err
+		} else {
+			j.state = Done
+		}
+		j.mu.Unlock()
+		close(j.finished)
+
+		s.mu.Lock()
+		delete(s.running, j.ID)
+		s.free += j.Nodes
+		if err != nil {
+			s.failed++
+		} else {
+			s.completed++
+		}
+		s.schedule()
+		s.mu.Unlock()
+	}()
+}
+
+// Wait blocks until the job finishes and returns its script error.
+func (s *System) Wait(j *Job) error {
+	<-j.finished
+	return j.Err()
+}
+
+// Cancel removes a waiting job from the queue. Running jobs cannot be
+// cancelled (like oardel on a running reservation without checkpointing).
+func (s *System) Cancel(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, j := range s.queue {
+		if j.ID == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			j.mu.Lock()
+			j.state = Cancelled
+			j.mu.Unlock()
+			close(j.finished)
+			return nil
+		}
+	}
+	return fmt.Errorf("batch: job %d is not waiting", id)
+}
+
+// Stats is a snapshot of the system.
+type SystemStats struct {
+	TotalNodes int
+	FreeNodes  int
+	Waiting    int
+	Running    int
+	Submitted  int
+	Completed  int
+	Failed     int
+}
+
+// Stats returns a snapshot of queue and node occupancy.
+func (s *System) Stats() SystemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SystemStats{
+		TotalNodes: s.cfg.TotalNodes,
+		FreeNodes:  s.free,
+		Waiting:    len(s.queue),
+		Running:    len(s.running),
+		Submitted:  s.submitted,
+		Completed:  s.completed,
+		Failed:     s.failed,
+	}
+}
+
+// Close refuses further submissions (queued/running jobs drain normally).
+func (s *System) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// Executor adapts the batch system to the diet.Executor interface: each SeD
+// solve becomes a batch job reserving Nodes for Walltime — the "transparent
+// reservations" integration of the paper's conclusion.
+type Executor struct {
+	System   *System
+	JobName  string
+	Nodes    int
+	Walltime time.Duration
+}
+
+// Execute implements the Executor contract used by diet.SeD.
+func (e *Executor) Execute(run func() error) error {
+	j, err := e.System.Submit(e.JobName, e.Nodes, e.Walltime, run)
+	if err != nil {
+		return err
+	}
+	return e.System.Wait(j)
+}

@@ -1,0 +1,93 @@
+package batch
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestRandomJobStreams drives the scheduler with random job mixes and checks
+// the conservation invariants: every submitted job finishes exactly once,
+// nothing is lost, and all nodes return to the pool.
+func TestRandomJobStreams(t *testing.T) {
+	f := func(seed int64, backfill bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 1 + rng.Intn(8)
+		s, err := New(Config{TotalNodes: nodes, Backfill: backfill})
+		if err != nil {
+			return false
+		}
+		njobs := 5 + rng.Intn(25)
+		var ran atomic.Int32
+		jobs := make([]*Job, 0, njobs)
+		for i := 0; i < njobs; i++ {
+			req := 1 + rng.Intn(nodes)
+			wall := time.Duration(1+rng.Intn(50)) * time.Millisecond
+			j, err := s.Submit("j", req, wall, func() error {
+				ran.Add(1)
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+			jobs = append(jobs, j)
+		}
+		for _, j := range jobs {
+			if err := s.Wait(j); err != nil {
+				return false
+			}
+			if j.State() != Done {
+				return false
+			}
+		}
+		st := s.Stats()
+		return ran.Load() == int32(njobs) &&
+			st.Completed == njobs &&
+			st.Failed == 0 &&
+			st.FreeNodes == nodes &&
+			st.Running == 0 &&
+			st.Waiting == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNodeOccupancyNeverExceedsTotal samples occupancy while a random stream
+// drains and checks the scheduler never over-commits the cluster.
+func TestNodeOccupancyNeverExceedsTotal(t *testing.T) {
+	const nodes = 4
+	s, err := New(Config{TotalNodes: nodes, Backfill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var jobs []*Job
+	for i := 0; i < 40; i++ {
+		j, err := s.Submit("j", 1+rng.Intn(nodes), 20*time.Millisecond, func() error {
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.FreeNodes < 0 || st.FreeNodes > nodes {
+			t.Fatalf("free nodes out of range: %+v", st)
+		}
+		if st.Completed == len(jobs) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("stream did not drain: %+v", st)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package dataman is the platform data manager behind DIET's persistence
+// modes (the DTM/DAGDA component of the real middleware): persistent and
+// sticky data live on the server that produced them, a catalog locates every
+// replica by DataID, and volatile-free workflows move references instead of
+// bytes. Persistent data may be replicated to other nodes on demand; sticky
+// data is pinned to its node and refuses to move — exactly the semantics of
+// the paper's DIET_PERSISTENT and DIET_STICKY modes.
+package dataman
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rpc"
+)
+
+// ObjectName is the rpc object under which a node's store is exposed.
+const ObjectName = "dataman"
+
+// Mode mirrors the transferable persistence classes.
+type Mode int
+
+// Data modes.
+const (
+	// Persistent data stays on its node but may be replicated elsewhere.
+	Persistent Mode = iota
+	// Sticky data stays on its node and refuses replication.
+	Sticky
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Sticky {
+		return "sticky"
+	}
+	return "persistent"
+}
+
+// Item is one stored datum.
+type Item struct {
+	ID   string
+	Mode Mode
+	Data []byte
+}
+
+// Store is one node's local data container.
+type Store struct {
+	node string
+	mu   sync.RWMutex
+	data map[string]Item
+}
+
+// NewStore creates a node-local store labelled with the node name.
+func NewStore(node string) *Store {
+	return &Store{node: node, data: make(map[string]Item)}
+}
+
+// Node returns the owning node's name.
+func (s *Store) Node() string { return s.node }
+
+// Put stores a datum locally.
+func (s *Store) Put(id string, mode Mode, data []byte) error {
+	if id == "" {
+		return fmt.Errorf("dataman: datum needs an ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[id] = Item{ID: id, Mode: mode, Data: data}
+	return nil
+}
+
+// Get returns a local datum.
+func (s *Store) Get(id string) (Item, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.data[id]
+	if !ok {
+		return Item{}, fmt.Errorf("dataman: %q not on node %s", id, s.node)
+	}
+	return it, nil
+}
+
+// Delete removes a local datum (diet_free_persistent_data).
+func (s *Store) Delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, id)
+}
+
+// IDs lists the locally stored data IDs, sorted.
+func (s *Store) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.data))
+	for id := range s.data {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler exposes the store over rpc.
+func (s *Store) Handler() rpc.Handler {
+	return rpc.HandlerFunc(map[string]func([]byte) ([]byte, error){
+		"Get": func(body []byte) ([]byte, error) {
+			var id string
+			if err := rpc.Decode(body, &id); err != nil {
+				return nil, err
+			}
+			it, err := s.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(it)
+		},
+		"Put": func(body []byte) ([]byte, error) {
+			var it Item
+			if err := rpc.Decode(body, &it); err != nil {
+				return nil, err
+			}
+			if err := s.Put(it.ID, it.Mode, it.Data); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(true)
+		},
+		"IDs": func([]byte) ([]byte, error) {
+			return rpc.Encode(s.IDs())
+		},
+	})
+}
+
+// Catalog is the platform-wide replica locator (the "agent side" of the data
+// manager): it maps DataID → the nodes holding a replica. It is safe for
+// concurrent use.
+type Catalog struct {
+	mu       sync.RWMutex
+	nodes    map[string]string   // node name → store address
+	replicas map[string][]string // data ID → node names, insertion order
+	modes    map[string]Mode
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		nodes:    make(map[string]string),
+		replicas: make(map[string][]string),
+		modes:    make(map[string]Mode),
+	}
+}
+
+// AddNode registers a node's store address.
+func (c *Catalog) AddNode(node, addr string) error {
+	if node == "" || addr == "" {
+		return fmt.Errorf("dataman: node and addr required")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes[node] = addr
+	return nil
+}
+
+// Publish records that node holds a replica of id with the given mode.
+func (c *Catalog) Publish(id, node string, mode Mode) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[node]; !ok {
+		return fmt.Errorf("dataman: unknown node %q", node)
+	}
+	if existing, ok := c.modes[id]; ok {
+		if existing != mode {
+			return fmt.Errorf("dataman: %q already published as %s", id, existing)
+		}
+		if existing == Sticky {
+			for _, n := range c.replicas[id] {
+				if n != node {
+					return fmt.Errorf("dataman: sticky datum %q is pinned to %s", id, n)
+				}
+			}
+		}
+	}
+	c.modes[id] = mode
+	for _, n := range c.replicas[id] {
+		if n == node {
+			return nil // already recorded
+		}
+	}
+	c.replicas[id] = append(c.replicas[id], node)
+	return nil
+}
+
+// Locate returns the nodes holding id, primary first.
+func (c *Catalog) Locate(id string) ([]string, Mode, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	nodes, ok := c.replicas[id]
+	if !ok || len(nodes) == 0 {
+		return nil, Persistent, fmt.Errorf("dataman: %q not published", id)
+	}
+	return append([]string(nil), nodes...), c.modes[id], nil
+}
+
+// Fetch retrieves id from any replica, nearest-first in catalog order.
+func (c *Catalog) Fetch(id string) (Item, error) {
+	nodes, _, err := c.Locate(id)
+	if err != nil {
+		return Item{}, err
+	}
+	var lastErr error
+	for _, node := range nodes {
+		c.mu.RLock()
+		addr := c.nodes[node]
+		c.mu.RUnlock()
+		var it Item
+		if err := rpc.Call(addr, ObjectName, "Get", id, &it); err != nil {
+			lastErr = err
+			continue
+		}
+		return it, nil
+	}
+	return Item{}, fmt.Errorf("dataman: all %d replicas of %q failed: %w", len(nodes), id, lastErr)
+}
+
+// Replicate copies a persistent datum onto another node and publishes the
+// new replica. Sticky data refuses to move, as the paper's mode demands.
+func (c *Catalog) Replicate(id, toNode string) error {
+	nodes, mode, err := c.Locate(id)
+	if err != nil {
+		return err
+	}
+	if mode == Sticky {
+		return fmt.Errorf("dataman: %q is sticky on %s and cannot move", id, nodes[0])
+	}
+	for _, n := range nodes {
+		if n == toNode {
+			return nil // already there
+		}
+	}
+	c.mu.RLock()
+	dstAddr, ok := c.nodes[toNode]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("dataman: unknown destination node %q", toNode)
+	}
+	it, err := c.Fetch(id)
+	if err != nil {
+		return err
+	}
+	var accepted bool
+	if err := rpc.Call(dstAddr, ObjectName, "Put", it, &accepted); err != nil {
+		return fmt.Errorf("dataman: replicating %q to %s: %w", id, toNode, err)
+	}
+	return c.Publish(id, toNode, mode)
+}
+
+// ReplicaCount returns the number of nodes holding id (0 if unpublished).
+func (c *Catalog) ReplicaCount(id string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.replicas[id])
+}

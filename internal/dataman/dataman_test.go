@@ -1,0 +1,154 @@
+package dataman
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// cluster brings up n node stores on the in-process transport plus a catalog
+// knowing them all.
+func cluster(t *testing.T, n int) (*Catalog, []*Store) {
+	t.Helper()
+	rpc.ResetLocal()
+	t.Cleanup(rpc.ResetLocal)
+	cat := NewCatalog()
+	var stores []*Store
+	for i := 0; i < n; i++ {
+		node := fmt.Sprintf("node%d", i)
+		st := NewStore(node)
+		srv := rpc.NewServer()
+		srv.Register(ObjectName, st.Handler())
+		addr, err := rpc.ServeLocal("dataman-"+node, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.AddNode(node, addr); err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, st)
+	}
+	return cat, stores
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore("n")
+	if err := s.Put("", Persistent, nil); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if err := s.Put("a", Persistent, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.Get("a")
+	if err != nil || string(it.Data) != "x" {
+		t.Fatalf("Get = %+v, %v", it, err)
+	}
+	if _, err := s.Get("ghost"); err == nil {
+		t.Error("missing datum should fail")
+	}
+	s.Put("b", Sticky, nil)
+	if ids := s.IDs(); strings.Join(ids, ",") != "a,b" {
+		t.Errorf("IDs = %v", ids)
+	}
+	s.Delete("a")
+	if _, err := s.Get("a"); err == nil {
+		t.Error("deleted datum should be gone")
+	}
+}
+
+func TestPublishLocateFetch(t *testing.T) {
+	cat, stores := cluster(t, 3)
+	payload := []byte("halo catalog bytes")
+	if err := stores[1].Put("halos/1", Persistent, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Publish("halos/1", "node1", Persistent); err != nil {
+		t.Fatal(err)
+	}
+	nodes, mode, err := cat.Locate("halos/1")
+	if err != nil || len(nodes) != 1 || nodes[0] != "node1" || mode != Persistent {
+		t.Fatalf("Locate = %v, %v, %v", nodes, mode, err)
+	}
+	it, err := cat.Fetch("halos/1")
+	if err != nil || !bytes.Equal(it.Data, payload) {
+		t.Fatalf("Fetch = %+v, %v", it, err)
+	}
+	if _, _, err := cat.Locate("ghost"); err == nil {
+		t.Error("unpublished datum should not locate")
+	}
+	if err := cat.Publish("x", "ghostnode", Persistent); err == nil {
+		t.Error("publishing on unknown node should fail")
+	}
+}
+
+func TestReplicatePersistent(t *testing.T) {
+	cat, stores := cluster(t, 3)
+	stores[0].Put("ic/55", Persistent, []byte("initial conditions"))
+	cat.Publish("ic/55", "node0", Persistent)
+
+	if err := cat.Replicate("ic/55", "node2"); err != nil {
+		t.Fatal(err)
+	}
+	if cat.ReplicaCount("ic/55") != 2 {
+		t.Errorf("replica count %d, want 2", cat.ReplicaCount("ic/55"))
+	}
+	// The bytes really moved.
+	it, err := stores[2].Get("ic/55")
+	if err != nil || string(it.Data) != "initial conditions" {
+		t.Fatalf("replica content: %+v, %v", it, err)
+	}
+	// Idempotent.
+	if err := cat.Replicate("ic/55", "node2"); err != nil {
+		t.Fatal(err)
+	}
+	if cat.ReplicaCount("ic/55") != 2 {
+		t.Error("re-replication must not duplicate entries")
+	}
+	if err := cat.Replicate("ic/55", "ghost"); err == nil {
+		t.Error("unknown destination should fail")
+	}
+}
+
+func TestStickyRefusesToMove(t *testing.T) {
+	cat, stores := cluster(t, 2)
+	stores[0].Put("scratch", Sticky, []byte("pinned"))
+	cat.Publish("scratch", "node0", Sticky)
+	if err := cat.Replicate("scratch", "node1"); err == nil {
+		t.Error("sticky data must refuse replication")
+	}
+	if cat.ReplicaCount("scratch") != 1 {
+		t.Error("sticky replica count must stay 1")
+	}
+	// Publishing a sticky datum from a second node is identity theft.
+	stores[1].Put("scratch", Sticky, []byte("imposter"))
+	if err := cat.Publish("scratch", "node1", Sticky); err == nil {
+		t.Error("second sticky publisher should be rejected")
+	}
+}
+
+func TestModeConflictRejected(t *testing.T) {
+	cat, stores := cluster(t, 2)
+	stores[0].Put("d", Persistent, []byte("x"))
+	cat.Publish("d", "node0", Persistent)
+	if err := cat.Publish("d", "node1", Sticky); err == nil {
+		t.Error("republishing under a different mode should fail")
+	}
+}
+
+func TestFetchFallsOverDeadReplica(t *testing.T) {
+	cat, stores := cluster(t, 3)
+	stores[0].Put("r", Persistent, []byte("v"))
+	cat.Publish("r", "node0", Persistent)
+	if err := cat.Replicate("r", "node1"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill node0's replica content (simulates a lost node store).
+	stores[0].Delete("r")
+	it, err := cat.Fetch("r")
+	if err != nil || string(it.Data) != "v" {
+		t.Fatalf("fetch should fall over to node1: %+v, %v", it, err)
+	}
+}

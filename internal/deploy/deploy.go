@@ -1,0 +1,198 @@
+// Package deploy plans a DIET hierarchy onto a physical platform. The paper
+// notes (§3.1) that "for performance reasons, the hierarchy of agents should
+// be deployed depending on the underlying network topology"; this package
+// encodes that rule — Master Agent at the client's site, one Local Agent per
+// cluster, SeDs under their cluster's LA — scores plans by the wide-area
+// traffic each scheduling request costs, and renders them either as an
+// in-process diet.DeploymentSpec or as the shell commands that launch the
+// dietagent/dietsed binaries across machines.
+package deploy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/diet"
+	"repro/internal/platform"
+	"repro/internal/scheduler"
+)
+
+// Node is one planned component.
+type Node struct {
+	Name    string
+	Kind    string // "naming", "MA", "LA", "SeD"
+	Site    string
+	Cluster string // SeDs only
+	Parent  string // LAs point at the MA, SeDs at their LA
+	Power   float64
+}
+
+// Plan is a complete deployment layout.
+type Plan struct {
+	Naming Node
+	MA     Node
+	LAs    []Node
+	SeDs   []Node
+}
+
+// Topology builds the paper's topology-aware plan from a platform
+// deployment: the MA (and naming service) on the MA site, one LA per
+// distinct cluster hosting SeDs, each SeD under its cluster's LA.
+func Topology(d platform.Deployment) (*Plan, error) {
+	if len(d.SeDs) == 0 {
+		return nil, fmt.Errorf("deploy: deployment has no SeDs")
+	}
+	p := &Plan{
+		Naming: Node{Name: "naming", Kind: "naming", Site: d.MASite},
+		MA:     Node{Name: "MA1", Kind: "MA", Site: d.MASite},
+	}
+	laByCluster := make(map[string]string)
+	var clusters []string
+	for _, s := range d.SeDs {
+		if _, ok := laByCluster[s.Cluster]; !ok {
+			la := "LA-" + s.Cluster
+			laByCluster[s.Cluster] = la
+			clusters = append(clusters, s.Cluster)
+			p.LAs = append(p.LAs, Node{Name: la, Kind: "LA", Site: s.Site, Parent: p.MA.Name})
+		}
+	}
+	sort.Strings(clusters) // deterministic LA order
+	sort.Slice(p.LAs, func(i, j int) bool { return p.LAs[i].Name < p.LAs[j].Name })
+	for _, s := range d.SeDs {
+		p.SeDs = append(p.SeDs, Node{
+			Name: s.Name, Kind: "SeD", Site: s.Site, Cluster: s.Cluster,
+			Parent: laByCluster[s.Cluster], Power: s.PowerGFlops(),
+		})
+	}
+	return p, nil
+}
+
+// Flat builds the naive alternative: a single LA co-located with the MA,
+// every SeD directly under it — the layout Topology exists to beat.
+func Flat(d platform.Deployment) (*Plan, error) {
+	if len(d.SeDs) == 0 {
+		return nil, fmt.Errorf("deploy: deployment has no SeDs")
+	}
+	p := &Plan{
+		Naming: Node{Name: "naming", Kind: "naming", Site: d.MASite},
+		MA:     Node{Name: "MA1", Kind: "MA", Site: d.MASite},
+		LAs:    []Node{{Name: "LA-flat", Kind: "LA", Site: d.MASite, Parent: "MA1"}},
+	}
+	for _, s := range d.SeDs {
+		p.SeDs = append(p.SeDs, Node{
+			Name: s.Name, Kind: "SeD", Site: s.Site, Cluster: s.Cluster,
+			Parent: "LA-flat", Power: s.PowerGFlops(),
+		})
+	}
+	return p, nil
+}
+
+// Validate checks structural invariants: unique names, every parent exists,
+// LAs parent to the MA, SeDs parent to an LA.
+func (p *Plan) Validate() error {
+	seen := map[string]string{p.MA.Name: "MA", p.Naming.Name: "naming"}
+	las := make(map[string]bool)
+	for _, la := range p.LAs {
+		if _, dup := seen[la.Name]; dup {
+			return fmt.Errorf("deploy: duplicate component name %q", la.Name)
+		}
+		seen[la.Name] = "LA"
+		las[la.Name] = true
+		if la.Parent != p.MA.Name {
+			return fmt.Errorf("deploy: LA %q parents to %q, want the MA", la.Name, la.Parent)
+		}
+	}
+	if len(p.SeDs) == 0 {
+		return fmt.Errorf("deploy: plan has no SeDs")
+	}
+	for _, s := range p.SeDs {
+		if _, dup := seen[s.Name]; dup {
+			return fmt.Errorf("deploy: duplicate component name %q", s.Name)
+		}
+		seen[s.Name] = "SeD"
+		if !las[s.Parent] {
+			return fmt.Errorf("deploy: SeD %q parents to unknown LA %q", s.Name, s.Parent)
+		}
+	}
+	return nil
+}
+
+// WANMessagesPerRequest scores the plan: the number of wide-area messages
+// one scheduling request costs during estimate collection (request + reply
+// on every link that crosses sites). Lower is better; this is the §3.1
+// rationale made quantitative.
+func (p *Plan) WANMessagesPerRequest() int {
+	siteOf := map[string]string{p.MA.Name: p.MA.Site}
+	n := 0
+	for _, la := range p.LAs {
+		siteOf[la.Name] = la.Site
+		if la.Site != p.MA.Site {
+			n += 2 // MA → LA request, LA → MA reply
+		}
+	}
+	for _, s := range p.SeDs {
+		if s.Site != siteOf[s.Parent] {
+			n += 2 // LA → SeD request, SeD → LA reply
+		}
+	}
+	return n
+}
+
+// CollectLatency estimates the estimate-collection latency on a platform:
+// the slowest MA→LA→SeD round trip, all children queried in parallel.
+func (p *Plan) CollectLatency(plat *platform.Platform) float64 {
+	siteOf := map[string]string{}
+	for _, la := range p.LAs {
+		siteOf[la.Name] = la.Site
+	}
+	worst := 0.0
+	for _, s := range p.SeDs {
+		laSite := siteOf[s.Parent]
+		rtt := 2 * (plat.Latency(p.MA.Site, laSite) + plat.Latency(laSite, s.Site)).Seconds()
+		if rtt > worst {
+			worst = rtt
+		}
+	}
+	return worst
+}
+
+// Spec renders the plan as an in-process deployment the diet package can
+// bring up directly; the caller attaches services to each SeD spec.
+func (p *Plan) Spec(policy scheduler.Policy, services []diet.ServiceSpec, local bool) (diet.DeploymentSpec, error) {
+	if err := p.Validate(); err != nil {
+		return diet.DeploymentSpec{}, err
+	}
+	spec := diet.DeploymentSpec{MAName: p.MA.Name, Policy: policy, Local: local}
+	for _, la := range p.LAs {
+		spec.LAs = append(spec.LAs, la.Name)
+	}
+	for _, s := range p.SeDs {
+		spec.SeDs = append(spec.SeDs, diet.SeDSpec{
+			Name: s.Name, Parent: s.Parent, Cluster: s.Cluster,
+			Capacity: 1, PowerGFlops: s.Power, Services: services,
+		})
+	}
+	return spec, nil
+}
+
+// Commands renders the plan as the shell command lines that launch it across
+// machines with the cmd/dietagent and cmd/dietsed binaries; namingAddr is the
+// host:port the naming service will listen on.
+func (p *Plan) Commands(namingAddr string) []string {
+	out := []string{
+		fmt.Sprintf("# on %s", p.MA.Site),
+		fmt.Sprintf("dietagent -name %s -kind MA -with-naming -naming-listen %s", p.MA.Name, namingAddr),
+	}
+	for _, la := range p.LAs {
+		out = append(out,
+			fmt.Sprintf("# on %s", la.Site),
+			fmt.Sprintf("dietagent -name %s -kind LA -parent %s -naming %s", la.Name, la.Parent, namingAddr))
+	}
+	for _, s := range p.SeDs {
+		out = append(out,
+			fmt.Sprintf("# on %s (%s)", s.Site, s.Cluster),
+			fmt.Sprintf("dietsed -name %s -parent %s -naming %s -power %.1f -cluster %s",
+				s.Name, s.Parent, namingAddr, s.Power, s.Cluster))
+	}
+	return out
+}

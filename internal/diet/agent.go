@@ -1,0 +1,458 @@
+package diet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/rpc"
+	"repro/internal/scheduler"
+)
+
+// AgentKind distinguishes the single Master Agent from Local Agents.
+type AgentKind int
+
+// Agent kinds.
+const (
+	MasterAgent AgentKind = iota
+	LocalAgent
+)
+
+// String implements fmt.Stringer.
+func (k AgentKind) String() string {
+	if k == MasterAgent {
+		return "MA"
+	}
+	return "LA"
+}
+
+// ChildInfo describes a component attached below an agent.
+type ChildInfo struct {
+	Name string
+	Addr string
+	Kind string // "SeD" or "LA"
+}
+
+// AgentConfig configures an agent.
+type AgentConfig struct {
+	Name       string
+	Kind       AgentKind
+	Parent     string           // parent agent name; empty for the MA
+	Naming     string           // naming service address
+	Policy     scheduler.Policy // used by the MA to rank estimates
+	Local      bool             // serve in-process instead of TCP
+	ListenAddr string
+	// CollectTimeout bounds the wait for any child's estimate; slow or dead
+	// children are skipped, DIET's basic fault tolerance at the agent level.
+	CollectTimeout time.Duration
+	// HeartbeatInterval enables the child monitor: every interval the agent
+	// pings its children and evicts any that miss MaxMissed consecutive
+	// beats — the fault-tolerance mechanism DIET provides at the agent
+	// level. Zero disables monitoring.
+	HeartbeatInterval time.Duration
+	// MaxMissed is the eviction threshold (default 3).
+	MaxMissed int
+	// Events is an optional LogService-style monitoring sink.
+	Events EventSink
+}
+
+// ServerRef identifies a chosen server back to the client.
+type ServerRef struct {
+	Name string
+	Addr string
+}
+
+// SubmitRequest is a client problem submission to the Master Agent.
+type SubmitRequest struct {
+	Service    string
+	WorkGFlops float64
+	Seq        int
+}
+
+// SubmitReply carries the ranked server list back to the client (the paper:
+// "a list of available servers is sent back to the client").
+type SubmitReply struct {
+	Servers   []ServerRef
+	Estimates []scheduler.Estimate
+}
+
+// CollectRequest asks an agent subtree for estimates. Limit > 0 caps how
+// many estimates each sub-agent returns after local ranking — DIET's
+// distributed scheduling, which keeps the reply traffic bounded as the
+// hierarchy widens (the scalability argument of the paper's §2 against
+// centralized agents).
+type CollectRequest struct {
+	Service string
+	Limit   int
+}
+
+// TopologyNode describes the deployed hierarchy for inspection.
+type TopologyNode struct {
+	Name     string
+	Kind     string
+	Addr     string
+	Children []TopologyNode
+}
+
+// Agent is a scheduling agent: it maintains the list of children (SeDs or
+// further agents), collects computation abilities through the hierarchy, and
+// — when it is the Master Agent — ranks them with the plug-in policy.
+type Agent struct {
+	cfg    AgentConfig
+	server *rpc.Server
+	addr   string
+
+	mu       sync.RWMutex
+	children map[string]ChildInfo
+	missed   map[string]int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	statMu   sync.Mutex
+	requests int
+	evicted  int
+}
+
+// NewAgent creates an agent; call Start to expose and attach it.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("diet: agent needs a name")
+	}
+	if cfg.Kind == MasterAgent && cfg.Parent != "" {
+		return nil, fmt.Errorf("diet: master agent %s cannot have a parent", cfg.Name)
+	}
+	if cfg.Kind == LocalAgent && cfg.Parent == "" {
+		return nil, fmt.Errorf("diet: local agent %s needs a parent", cfg.Name)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = scheduler.NewRoundRobin()
+	}
+	if cfg.CollectTimeout <= 0 {
+		cfg.CollectTimeout = 10 * time.Second
+	}
+	if cfg.MaxMissed <= 0 {
+		cfg.MaxMissed = 3
+	}
+	return &Agent{
+		cfg:      cfg,
+		server:   rpc.NewServer(),
+		children: make(map[string]ChildInfo),
+		missed:   make(map[string]int),
+		stop:     make(chan struct{}),
+	}, nil
+}
+
+// Name returns the agent's component name.
+func (a *Agent) Name() string { return a.cfg.Name }
+
+// Addr returns the agent's serving address (valid after Start).
+func (a *Agent) Addr() string { return a.addr }
+
+// objectName is the rpc object identity of this agent.
+func (a *Agent) objectName() string { return "agent:" + a.cfg.Name }
+
+// Start exposes the agent, registers it with the naming service, and — for
+// Local Agents — attaches it to its parent.
+func (a *Agent) Start() error {
+	a.server.Register(a.objectName(), a.handler())
+	var err error
+	if a.cfg.Local {
+		a.addr, err = rpc.ServeLocal("agent-"+a.cfg.Name, a.server)
+	} else {
+		a.addr, err = a.server.Start(a.cfg.ListenAddr)
+	}
+	if err != nil {
+		return fmt.Errorf("diet: starting agent %s: %w", a.cfg.Name, err)
+	}
+	nc := &naming.Client{Addr: a.cfg.Naming}
+	kind := "MA"
+	if a.cfg.Kind == LocalAgent {
+		kind = "LA"
+	}
+	if err := nc.Register(naming.Entry{Name: a.cfg.Name, Addr: a.addr, Kind: kind}); err != nil {
+		return fmt.Errorf("diet: registering agent %s: %w", a.cfg.Name, err)
+	}
+	if a.cfg.Parent != "" {
+		parent, err := nc.Resolve(a.cfg.Parent)
+		if err != nil {
+			return fmt.Errorf("diet: agent %s resolving parent %q: %w", a.cfg.Name, a.cfg.Parent, err)
+		}
+		var ok bool
+		err = rpc.Call(parent.Addr, "agent:"+a.cfg.Parent, "ChildRegister",
+			ChildInfo{Name: a.cfg.Name, Addr: a.addr, Kind: "LA"}, &ok)
+		if err != nil {
+			return fmt.Errorf("diet: agent %s attaching to parent %q: %w", a.cfg.Name, a.cfg.Parent, err)
+		}
+	}
+	if a.cfg.HeartbeatInterval > 0 {
+		go a.monitor()
+	}
+	publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "start", a.addr)
+	return nil
+}
+
+// Close stops serving and the child monitor.
+func (a *Agent) Close() error {
+	a.stopOnce.Do(func() { close(a.stop) })
+	return a.server.Close()
+}
+
+// monitor runs the heartbeat loop until Close.
+func (a *Agent) monitor() {
+	ticker := time.NewTicker(a.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			a.SweepChildren()
+		}
+	}
+}
+
+// SweepChildren performs one heartbeat round: ping every child and evict
+// those that have missed MaxMissed consecutive beats. It is exported so
+// tests (and tools) can drive the monitor deterministically.
+func (a *Agent) SweepChildren() {
+	for _, c := range a.Children() {
+		object := "sed:" + c.Name
+		if c.Kind != "SeD" {
+			object = "agent:" + c.Name
+		}
+		var pong string
+		err := rpc.Call(c.Addr, object, "Ping", struct{}{}, &pong)
+		a.mu.Lock()
+		if err != nil {
+			a.missed[c.Name]++
+			if a.missed[c.Name] >= a.cfg.MaxMissed {
+				delete(a.children, c.Name)
+				delete(a.missed, c.Name)
+				a.statMu.Lock()
+				a.evicted++
+				a.statMu.Unlock()
+				publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "evict", c.Kind+":"+c.Name)
+			}
+		} else {
+			a.missed[c.Name] = 0
+		}
+		a.mu.Unlock()
+	}
+}
+
+// EvictedCount reports how many children the monitor has removed.
+func (a *Agent) EvictedCount() int {
+	a.statMu.Lock()
+	defer a.statMu.Unlock()
+	return a.evicted
+}
+
+// childRegister records a child component.
+func (a *Agent) childRegister(c ChildInfo) error {
+	if c.Name == "" || c.Addr == "" {
+		return fmt.Errorf("diet: invalid child registration %+v", c)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.children[c.Name] = c
+	a.missed[c.Name] = 0 // a re-registering child starts with a clean slate
+	publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "child_register", c.Kind+":"+c.Name)
+	return nil
+}
+
+// Children returns a snapshot of the registered children.
+func (a *Agent) Children() []ChildInfo {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]ChildInfo, 0, len(a.children))
+	for _, c := range a.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Collect fans the estimate query out to all children in parallel —
+// recursing through sub-agents, querying SeDs — and merges the answers.
+// Children that fail or exceed CollectTimeout are skipped.
+func (a *Agent) Collect(service string) []scheduler.Estimate {
+	return a.collect(CollectRequest{Service: service})
+}
+
+// CollectN is Collect with distributed truncation: every agent in the
+// subtree locally ranks its merged estimates and returns at most limit of
+// them, so reply traffic stays bounded as the hierarchy widens.
+func (a *Agent) CollectN(service string, limit int) []scheduler.Estimate {
+	return a.collect(CollectRequest{Service: service, Limit: limit})
+}
+
+func (a *Agent) collect(req CollectRequest) []scheduler.Estimate {
+	children := a.Children()
+	type result struct {
+		ests []scheduler.Estimate
+	}
+	results := make(chan result, len(children))
+	for _, c := range children {
+		go func(c ChildInfo) {
+			switch c.Kind {
+			case "SeD":
+				var reply EstimateReply
+				err := rpc.Call(c.Addr, "sed:"+c.Name, "Estimate", req.Service, &reply)
+				if err == nil && reply.OK {
+					results <- result{ests: []scheduler.Estimate{reply.Est}}
+					return
+				}
+			default: // sub-agent
+				var ests []scheduler.Estimate
+				err := rpc.Call(c.Addr, "agent:"+c.Name, "Collect", req, &ests)
+				if err == nil {
+					results <- result{ests: ests}
+					return
+				}
+			}
+			results <- result{}
+		}(c)
+	}
+	var merged []scheduler.Estimate
+	deadline := time.After(a.cfg.CollectTimeout)
+	for range children {
+		select {
+		case r := <-results:
+			merged = append(merged, r.ests...)
+		case <-deadline:
+			// Children that have not answered are treated as unavailable.
+			return a.truncate(req, merged)
+		}
+	}
+	return a.truncate(req, merged)
+}
+
+// truncate applies the distributed-scheduling cap: rank locally by load
+// (shortest queue, then highest power) and keep the best req.Limit entries.
+func (a *Agent) truncate(req CollectRequest, ests []scheduler.Estimate) []scheduler.Estimate {
+	sortEstimates(ests)
+	if req.Limit <= 0 || len(ests) <= req.Limit {
+		return ests
+	}
+	sort.SliceStable(ests, func(i, j int) bool {
+		li := ests[i].QueueLen + ests[i].Running
+		lj := ests[j].QueueLen + ests[j].Running
+		if li != lj {
+			return li < lj
+		}
+		if ests[i].PowerGFlops != ests[j].PowerGFlops {
+			return ests[i].PowerGFlops > ests[j].PowerGFlops
+		}
+		return ests[i].ServerID < ests[j].ServerID
+	})
+	ests = ests[:req.Limit]
+	sortEstimates(ests)
+	return ests
+}
+
+// sortEstimates orders estimates deterministically by server ID.
+func sortEstimates(ests []scheduler.Estimate) {
+	sort.Slice(ests, func(i, j int) bool { return ests[i].ServerID < ests[j].ServerID })
+}
+
+// Submit handles a client request at the Master Agent: collect abilities
+// through the hierarchy, rank with the scheduling policy, return the list.
+func (a *Agent) Submit(req SubmitRequest) (*SubmitReply, error) {
+	if a.cfg.Kind != MasterAgent {
+		return nil, fmt.Errorf("diet: agent %s is not a master agent", a.cfg.Name)
+	}
+	a.statMu.Lock()
+	a.requests++
+	a.statMu.Unlock()
+	publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "submit", req.Service)
+	ests := a.Collect(req.Service)
+	if len(ests) == 0 {
+		return nil, fmt.Errorf("diet: no server can solve %q", req.Service)
+	}
+	order := a.cfg.Policy.Rank(scheduler.Request{
+		Service: req.Service, Seq: req.Seq, WorkGFlops: req.WorkGFlops,
+	}, ests)
+	reply := &SubmitReply{Estimates: ests}
+	nc := &naming.Client{Addr: a.cfg.Naming}
+	for _, idx := range order {
+		name := ests[idx].ServerID
+		entry, err := nc.Resolve(name)
+		if err != nil {
+			continue // server vanished between estimate and resolve
+		}
+		reply.Servers = append(reply.Servers, ServerRef{Name: name, Addr: entry.Addr})
+	}
+	if len(reply.Servers) == 0 {
+		return nil, fmt.Errorf("diet: all candidate servers for %q are unresolvable", req.Service)
+	}
+	return reply, nil
+}
+
+// RequestCount reports how many submissions this agent has ranked.
+func (a *Agent) RequestCount() int {
+	a.statMu.Lock()
+	defer a.statMu.Unlock()
+	return a.requests
+}
+
+// Topology walks the subtree and reports its structure.
+func (a *Agent) Topology() TopologyNode {
+	node := TopologyNode{Name: a.cfg.Name, Kind: a.cfg.Kind.String(), Addr: a.addr}
+	for _, c := range a.Children() {
+		switch c.Kind {
+		case "SeD":
+			node.Children = append(node.Children, TopologyNode{Name: c.Name, Kind: "SeD", Addr: c.Addr})
+		default:
+			var sub TopologyNode
+			if err := rpc.Call(c.Addr, "agent:"+c.Name, "Topology", struct{}{}, &sub); err == nil {
+				node.Children = append(node.Children, sub)
+			} else {
+				node.Children = append(node.Children, TopologyNode{Name: c.Name, Kind: "LA?", Addr: c.Addr})
+			}
+		}
+	}
+	return node
+}
+
+// handler exposes the agent over rpc.
+func (a *Agent) handler() rpc.Handler {
+	return rpc.HandlerFunc(map[string]func([]byte) ([]byte, error){
+		"ChildRegister": func(body []byte) ([]byte, error) {
+			var c ChildInfo
+			if err := rpc.Decode(body, &c); err != nil {
+				return nil, err
+			}
+			if err := a.childRegister(c); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(true)
+		},
+		"Collect": func(body []byte) ([]byte, error) {
+			var req CollectRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(a.collect(req))
+		},
+		"Submit": func(body []byte) ([]byte, error) {
+			var req SubmitRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			reply, err := a.Submit(req)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(reply)
+		},
+		"Topology": func([]byte) ([]byte, error) {
+			return rpc.Encode(a.Topology())
+		},
+		"Ping": func([]byte) ([]byte, error) {
+			return rpc.Encode("pong")
+		},
+	})
+}

@@ -1,0 +1,236 @@
+package diet
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/rpc"
+)
+
+// ClientConfig is the parsed client configuration file. The file format is
+// the DIET cfg style: one "key = value" per line, '#' comments. Recognised
+// keys: namingAddr (required), MAName (default "MA1"), traceLevel.
+type ClientConfig struct {
+	Naming     string
+	MAName     string
+	TraceLevel int
+}
+
+// ParseClientConfig reads a DIET-style client configuration file.
+func ParseClientConfig(path string) (ClientConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ClientConfig{}, err
+	}
+	defer f.Close()
+	cfg := ClientConfig{MAName: "MA1"}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return ClientConfig{}, fmt.Errorf("diet: %s:%d: expected key = value, got %q", path, lineNo, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		switch key {
+		case "namingAddr":
+			cfg.Naming = val
+		case "MAName":
+			cfg.MAName = val
+		case "traceLevel":
+			fmt.Sscanf(val, "%d", &cfg.TraceLevel)
+		default:
+			return ClientConfig{}, fmt.Errorf("diet: %s:%d: unknown key %q", path, lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return ClientConfig{}, err
+	}
+	if cfg.Naming == "" {
+		return ClientConfig{}, fmt.Errorf("diet: %s: namingAddr is required", path)
+	}
+	return cfg, nil
+}
+
+// CallInfo reports the timing decomposition of one completed call, the
+// quantities of the paper's Figure 6: finding time (MA round trip) and
+// latency (everything between submission and the start of computation:
+// transfer, queue wait, service initialisation).
+type CallInfo struct {
+	Seq       int
+	Server    string        // chosen SeD
+	Finding   time.Duration // time to get the ranked server list from the MA
+	QueueWait time.Duration // time the request waited in the SeD queue
+	Compute   time.Duration // solve execution time
+	Latency   time.Duration // total − finding − compute: transfer + queue + init
+	Total     time.Duration
+}
+
+// Client is the application's handle on a DIET platform (diet_initialize /
+// diet_call / diet_finalize). It is safe for concurrent Call invocations.
+type Client struct {
+	cfg    ClientConfig
+	maAddr string
+	seq    atomic.Int64
+
+	mu    sync.Mutex
+	calls []CallInfo
+}
+
+// Initialize opens a DIET session from a configuration file.
+func Initialize(configPath string) (*Client, error) {
+	cfg, err := ParseClientConfig(configPath)
+	if err != nil {
+		return nil, err
+	}
+	return InitializeConfig(cfg)
+}
+
+// InitializeConfig opens a DIET session from an in-memory configuration.
+func InitializeConfig(cfg ClientConfig) (*Client, error) {
+	if cfg.MAName == "" {
+		cfg.MAName = "MA1"
+	}
+	nc := &naming.Client{Addr: cfg.Naming}
+	entry, err := nc.Resolve(cfg.MAName)
+	if err != nil {
+		return nil, fmt.Errorf("diet: resolving master agent %q: %w", cfg.MAName, err)
+	}
+	return &Client{cfg: cfg, maAddr: entry.Addr}, nil
+}
+
+// Finalize closes the session. Like diet_finalize it does not invalidate
+// data the application still holds; it only drops the platform handle.
+func (c *Client) Finalize() {}
+
+// Submit asks the Master Agent for the ranked server list for a service —
+// the "finding" phase measured in Figure 6.
+func (c *Client) Submit(service string, workGFlops float64) (*SubmitReply, time.Duration, error) {
+	seq := int(c.seq.Add(1))
+	t0 := time.Now()
+	var reply SubmitReply
+	err := rpc.Call(c.maAddr, "agent:"+c.cfg.MAName, "Submit",
+		SubmitRequest{Service: service, WorkGFlops: workGFlops, Seq: seq}, &reply)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &reply, time.Since(t0), nil
+}
+
+// CallOption tweaks a Call.
+type CallOption func(*callOptions)
+
+type callOptions struct {
+	workGFlops float64
+}
+
+// WithWork passes a work estimate (GFlops) to the scheduler, used by the
+// power-aware plug-in policy.
+func WithWork(gflops float64) CallOption {
+	return func(o *callOptions) { o.workGFlops = gflops }
+}
+
+// Call performs a complete synchronous GridRPC call: find a server through
+// the MA, ship the profile to the chosen SeD, execute, and bring the
+// INOUT/OUT arguments back into p. On failure of the best server it falls
+// over to the next servers in the ranked list.
+func (c *Client) Call(p *Profile, opts ...CallOption) (*CallInfo, error) {
+	var o callOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	t0 := time.Now()
+	reply, finding, err := c.Submit(p.Service, o.workGFlops)
+	if err != nil {
+		return nil, fmt.Errorf("diet: submission of %q failed: %w", p.Service, err)
+	}
+	var lastErr error
+	for _, srv := range reply.Servers {
+		var solved SolveReply
+		err := rpc.Call(srv.Addr, "sed:"+srv.Name, "Solve", p, &solved)
+		if err != nil {
+			lastErr = err
+			continue // fault tolerance: try the next ranked server
+		}
+		*p = *solved.Profile
+		total := time.Since(t0)
+		compute := time.Duration(solved.Timing.ComputeMS * float64(time.Millisecond))
+		queue := time.Duration(solved.Timing.QueueWaitMS * float64(time.Millisecond))
+		info := CallInfo{
+			Seq:       int(c.seq.Load()),
+			Server:    srv.Name,
+			Finding:   finding,
+			QueueWait: queue,
+			Compute:   compute,
+			Latency:   total - finding - compute,
+			Total:     total,
+		}
+		c.mu.Lock()
+		c.calls = append(c.calls, info)
+		c.mu.Unlock()
+		return &info, nil
+	}
+	return nil, fmt.Errorf("diet: all %d servers failed for %q: %w", len(reply.Servers), p.Service, lastErr)
+}
+
+// AsyncCall is a handle on an in-flight asynchronous call.
+type AsyncCall struct {
+	done chan struct{}
+	info *CallInfo
+	err  error
+}
+
+// Wait blocks until the call completes and returns its outcome.
+func (a *AsyncCall) Wait() (*CallInfo, error) {
+	<-a.done
+	return a.info, a.err
+}
+
+// CallAsync launches Call in the background, the diet_call_async of the C
+// API. The profile must not be touched until Wait returns.
+func (c *Client) CallAsync(p *Profile, opts ...CallOption) *AsyncCall {
+	a := &AsyncCall{done: make(chan struct{})}
+	go func() {
+		defer close(a.done)
+		a.info, a.err = c.Call(p, opts...)
+	}()
+	return a
+}
+
+// WaitAll blocks until all the given async calls complete and returns the
+// first error encountered (grpc_wait_all).
+func WaitAll(calls []*AsyncCall) error {
+	var first error
+	for _, a := range calls {
+		if _, err := a.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// History returns the timing records of every completed call in completion
+// order; the experiment harness turns these into the Figure 6 series.
+func (c *Client) History() []CallInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CallInfo, len(c.calls))
+	copy(out, c.calls)
+	return out
+}

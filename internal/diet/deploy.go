@@ -1,0 +1,170 @@
+package diet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/rpc"
+	"repro/internal/scheduler"
+)
+
+// callOn ships a profile straight to one server, used by bound function
+// handles.
+func (c *Client) callOn(srv ServerRef, p *Profile) (*CallInfo, error) {
+	t0 := time.Now()
+	var solved SolveReply
+	if err := rpc.Call(srv.Addr, "sed:"+srv.Name, "Solve", p, &solved); err != nil {
+		return nil, err
+	}
+	*p = *solved.Profile
+	total := time.Since(t0)
+	compute := time.Duration(solved.Timing.ComputeMS * float64(time.Millisecond))
+	queue := time.Duration(solved.Timing.QueueWaitMS * float64(time.Millisecond))
+	info := CallInfo{
+		Server:    srv.Name,
+		QueueWait: queue,
+		Compute:   compute,
+		Latency:   total - compute,
+		Total:     total,
+	}
+	c.mu.Lock()
+	c.calls = append(c.calls, info)
+	c.mu.Unlock()
+	return &info, nil
+}
+
+// SeDSpec describes one SeD of a deployment.
+type SeDSpec struct {
+	Name        string
+	Parent      string // LA name
+	Cluster     string
+	Capacity    int
+	PowerGFlops float64
+	Services    []ServiceSpec
+}
+
+// ServiceSpec binds a descriptor to its solve function for deployment.
+type ServiceSpec struct {
+	Desc  *ProfileDesc
+	Solve SolveFunc
+}
+
+// DeploymentSpec describes a whole platform: one MA, its LAs, their SeDs —
+// the shape of the paper's Grid'5000 deployment (1 MA, 6 LA, 11 SeD).
+type DeploymentSpec struct {
+	MAName string
+	Policy scheduler.Policy
+	LAs    []string // LA names; every LA hangs off the MA
+	SeDs   []SeDSpec
+	Local  bool // in-process transport (tests, experiments); false = TCP
+}
+
+// Deployment is a running platform handle.
+type Deployment struct {
+	Naming     *naming.Service
+	NamingAddr string
+	MA         *Agent
+	LAs        []*Agent
+	SeDs       []*SeD
+
+	servers []*rpc.Server
+}
+
+// Deploy brings up a complete DIET platform: naming service, master agent,
+// local agents, SeDs with their services, all wired through the hierarchy.
+func Deploy(spec DeploymentSpec) (*Deployment, error) {
+	if spec.MAName == "" {
+		spec.MAName = "MA1"
+	}
+	d := &Deployment{Naming: naming.NewService()}
+
+	// Naming service first; everything else registers through it.
+	ns := rpc.NewServer()
+	ns.Register(naming.ObjectName, d.Naming.Handler())
+	var err error
+	if spec.Local {
+		d.NamingAddr, err = rpc.ServeLocal(fmt.Sprintf("naming-%s", spec.MAName), ns)
+	} else {
+		d.NamingAddr, err = ns.Start(":0")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("diet: starting naming service: %w", err)
+	}
+	d.servers = append(d.servers, ns)
+
+	ma, err := NewAgent(AgentConfig{
+		Name: spec.MAName, Kind: MasterAgent, Naming: d.NamingAddr,
+		Policy: spec.Policy, Local: spec.Local,
+	})
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	if err := ma.Start(); err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.MA = ma
+
+	for _, laName := range spec.LAs {
+		la, err := NewAgent(AgentConfig{
+			Name: laName, Kind: LocalAgent, Parent: spec.MAName,
+			Naming: d.NamingAddr, Local: spec.Local,
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		if err := la.Start(); err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.LAs = append(d.LAs, la)
+	}
+
+	for _, ss := range spec.SeDs {
+		sed, err := NewSeD(SeDConfig{
+			Name: ss.Name, Parent: ss.Parent, Naming: d.NamingAddr,
+			Capacity: ss.Capacity, PowerGFlops: ss.PowerGFlops,
+			Cluster: ss.Cluster, Local: spec.Local,
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		for _, svc := range ss.Services {
+			if err := sed.AddService(svc.Desc, svc.Solve); err != nil {
+				d.Close()
+				return nil, err
+			}
+		}
+		if err := sed.Start(); err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.SeDs = append(d.SeDs, sed)
+	}
+	return d, nil
+}
+
+// Client opens a session against the deployment.
+func (d *Deployment) Client() (*Client, error) {
+	return InitializeConfig(ClientConfig{Naming: d.NamingAddr, MAName: d.MA.Name()})
+}
+
+// Close tears the platform down: SeDs, agents, then the naming service.
+func (d *Deployment) Close() {
+	for _, s := range d.SeDs {
+		s.Close()
+	}
+	for _, a := range d.LAs {
+		a.Close()
+	}
+	if d.MA != nil {
+		d.MA.Close()
+	}
+	for _, s := range d.servers {
+		s.Close()
+	}
+}

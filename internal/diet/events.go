@@ -1,0 +1,17 @@
+package diet
+
+// EventSink receives middleware trace events — the LogService integration
+// of the real DIET, where every component reports start-up, registrations
+// and solve activity to the monitoring tools deployed beside the MA.
+// internal/logsvc provides local and remote implementations.
+type EventSink interface {
+	Publish(component, kind, detail string)
+}
+
+// publish emits an event when a sink is configured; monitoring is always
+// optional and never fails the caller.
+func publish(sink EventSink, component, kind, detail string) {
+	if sink != nil {
+		sink.Publish(component, kind, detail)
+	}
+}

@@ -1,0 +1,414 @@
+package diet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/naming"
+	"repro/internal/rpc"
+	"repro/internal/scheduler"
+)
+
+// SolveFunc computes one service request: it reads the profile's IN/INOUT
+// arguments and fills its INOUT/OUT arguments, like the C API's
+// solve_serviceName functions.
+type SolveFunc func(p *Profile) error
+
+// Executor runs a solve body. The default executes inline; the batch package
+// provides an Executor that routes solves through an OAR-style reservation,
+// the "batch submission manager" of the paper's conclusion.
+type Executor interface {
+	Execute(run func() error) error
+}
+
+// directExecutor runs the solve in the calling goroutine.
+type directExecutor struct{}
+
+func (directExecutor) Execute(run func() error) error { return run() }
+
+// SeDConfig configures a Server Daemon.
+type SeDConfig struct {
+	Name        string  // unique component name
+	Parent      string  // name of the parent agent (LA or MA)
+	Naming      string  // address of the naming service
+	Capacity    int     // concurrent solves; the paper's SeDs run 1
+	PowerGFlops float64 // advertised processing power of the backing machines
+	MemMB       float64 // advertised memory
+	Cluster     string  // cluster label, e.g. "Toulouse" (reporting only)
+	WorkDir     string  // scratch directory for services that write files
+	Local       bool    // serve in-process instead of TCP
+	ListenAddr  string  // TCP listen address when Local is false ("" = :0)
+	Executor    Executor
+	Events      EventSink // optional LogService-style monitoring sink
+}
+
+// solveTiming is returned to the client alongside the solved profile so the
+// experiment harness can split queue wait from compute time.
+type solveTiming struct {
+	QueueWaitMS float64
+	ComputeMS   float64
+}
+
+// SolveReply is the wire reply of a Solve call.
+type SolveReply struct {
+	Profile *Profile
+	Timing  solveTiming
+}
+
+// EstimateReply answers a monitoring query from the parent agent.
+type EstimateReply struct {
+	OK  bool // whether this SeD can solve the service
+	Est scheduler.Estimate
+}
+
+// serviceEntry is one row of the SeD's service table.
+type serviceEntry struct {
+	desc  *ProfileDesc
+	solve SolveFunc
+}
+
+// SeD is a Server Daemon: it encapsulates a computational server, keeps the
+// list of problems it can solve, answers monitoring queries from its parent
+// agent, and executes solve requests through a FIFO queue of configurable
+// width (paper: "each server cannot compute more than one simulation at the
+// same time").
+type SeD struct {
+	cfg    SeDConfig
+	server *rpc.Server
+	addr   string
+
+	mu        sync.Mutex
+	services  map[string]serviceEntry
+	dataStore map[string][]byte // persistent data, by DataID
+
+	jobs     chan *sedJob
+	slots    chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	statMu     sync.Mutex
+	queued     int
+	running    int
+	lastSolveS float64
+	solved     int
+	busySecs   float64
+}
+
+type sedJob struct {
+	grant chan struct{}
+}
+
+// NewSeD creates a SeD; call AddService then Start.
+func NewSeD(cfg SeDConfig) (*SeD, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("diet: SeD needs a name")
+	}
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.PowerGFlops <= 0 {
+		cfg.PowerGFlops = 1
+	}
+	if cfg.Executor == nil {
+		cfg.Executor = directExecutor{}
+	}
+	s := &SeD{
+		cfg:       cfg,
+		server:    rpc.NewServer(),
+		services:  make(map[string]serviceEntry),
+		dataStore: make(map[string][]byte),
+		jobs:      make(chan *sedJob, 16384),
+		slots:     make(chan struct{}, cfg.Capacity),
+		stop:      make(chan struct{}),
+	}
+	for i := 0; i < cfg.Capacity; i++ {
+		s.slots <- struct{}{}
+	}
+	return s, nil
+}
+
+// AddService registers a service in the table (diet_service_table_add).
+func (s *SeD) AddService(desc *ProfileDesc, solve SolveFunc) error {
+	if desc == nil || solve == nil {
+		return fmt.Errorf("diet: AddService needs a descriptor and a solve function")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.services[desc.Service]; dup {
+		return fmt.Errorf("diet: service %q already registered", desc.Service)
+	}
+	s.services[desc.Service] = serviceEntry{desc: desc, solve: solve}
+	return nil
+}
+
+// ServiceNames lists the registered services (diet_print_service_table).
+func (s *SeD) ServiceNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.services))
+	for name := range s.services {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Name returns the SeD's component name.
+func (s *SeD) Name() string { return s.cfg.Name }
+
+// Addr returns the address the SeD serves on (valid after Start).
+func (s *SeD) Addr() string { return s.addr }
+
+// objectName is the rpc object identity of this SeD.
+func (s *SeD) objectName() string { return "sed:" + s.cfg.Name }
+
+// Start exposes the SeD (in-process or TCP), registers it with the naming
+// service and with its parent agent, and starts the FIFO dispatcher. It is
+// the moral equivalent of diet_SeD(), except it returns instead of blocking.
+func (s *SeD) Start() error {
+	s.server.Register(s.objectName(), s.handler())
+	var err error
+	if s.cfg.Local {
+		s.addr, err = rpc.ServeLocal("sed-"+s.cfg.Name, s.server)
+	} else {
+		s.addr, err = s.server.Start(s.cfg.ListenAddr)
+	}
+	if err != nil {
+		return fmt.Errorf("diet: starting SeD %s: %w", s.cfg.Name, err)
+	}
+	go s.dispatch()
+
+	nc := &naming.Client{Addr: s.cfg.Naming}
+	if err := nc.Register(naming.Entry{Name: s.cfg.Name, Addr: s.addr, Kind: "SeD"}); err != nil {
+		return fmt.Errorf("diet: registering SeD %s: %w", s.cfg.Name, err)
+	}
+	if s.cfg.Parent != "" {
+		parent, err := nc.Resolve(s.cfg.Parent)
+		if err != nil {
+			return fmt.Errorf("diet: SeD %s resolving parent %q: %w", s.cfg.Name, s.cfg.Parent, err)
+		}
+		var ok bool
+		err = rpc.Call(parent.Addr, "agent:"+s.cfg.Parent, "ChildRegister",
+			ChildInfo{Name: s.cfg.Name, Addr: s.addr, Kind: "SeD"}, &ok)
+		if err != nil {
+			return fmt.Errorf("diet: SeD %s attaching to parent %q: %w", s.cfg.Name, s.cfg.Parent, err)
+		}
+	}
+	publish(s.cfg.Events, "SeD:"+s.cfg.Name, "start", s.addr)
+	return nil
+}
+
+// Close stops serving. Queued requests fail with closed-connection errors.
+// Close is idempotent.
+func (s *SeD) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	return s.server.Close()
+}
+
+// dispatch grants queued jobs strictly in arrival order, one token per
+// concurrent slot — a true FIFO even under heavy concurrency.
+func (s *SeD) dispatch() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.jobs:
+			select {
+			case <-s.stop:
+				return
+			case <-s.slots:
+				close(j.grant)
+			}
+		}
+	}
+}
+
+// Estimate builds this SeD's estimation vector for a service.
+func (s *SeD) Estimate(service string) EstimateReply {
+	s.mu.Lock()
+	_, ok := s.services[service]
+	s.mu.Unlock()
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return EstimateReply{
+		OK: ok,
+		Est: scheduler.Estimate{
+			ServerID:         s.cfg.Name,
+			Service:          service,
+			Capacity:         s.cfg.Capacity,
+			Running:          s.running,
+			QueueLen:         s.queued,
+			PowerGFlops:      s.cfg.PowerGFlops,
+			FreeMemMB:        s.cfg.MemMB,
+			LastSolveSeconds: s.lastSolveS,
+		},
+	}
+}
+
+// Solve queues the profile, waits for a slot, runs the solve function and
+// returns the profile with its OUT arguments filled.
+func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
+	s.mu.Lock()
+	entry, ok := s.services[p.Service]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("diet: SeD %s cannot solve %q", s.cfg.Name, p.Service)
+	}
+	if err := entry.desc.Matches(p); err != nil {
+		return nil, err
+	}
+	s.resolvePersistent(p)
+
+	enq := time.Now()
+	job := &sedJob{grant: make(chan struct{})}
+	s.statMu.Lock()
+	s.queued++
+	s.statMu.Unlock()
+	select {
+	case s.jobs <- job:
+	default:
+		s.statMu.Lock()
+		s.queued--
+		s.statMu.Unlock()
+		return nil, fmt.Errorf("diet: SeD %s queue full", s.cfg.Name)
+	}
+	<-job.grant
+
+	start := time.Now()
+	s.statMu.Lock()
+	s.queued--
+	s.running++
+	s.statMu.Unlock()
+	publish(s.cfg.Events, "SeD:"+s.cfg.Name, "solve_begin", p.Service)
+
+	err := s.cfg.Executor.Execute(func() error { return entry.solve(p) })
+
+	end := time.Now()
+	s.statMu.Lock()
+	s.running--
+	s.lastSolveS = end.Sub(start).Seconds()
+	s.solved++
+	s.busySecs += end.Sub(start).Seconds()
+	s.statMu.Unlock()
+	s.slots <- struct{}{} // release the slot
+	publish(s.cfg.Events, "SeD:"+s.cfg.Name, "solve_end", p.Service)
+
+	if err != nil {
+		return nil, fmt.Errorf("diet: solve %s on %s: %w", p.Service, s.cfg.Name, err)
+	}
+	s.storePersistent(p)
+	return &SolveReply{
+		Profile: p,
+		Timing: solveTiming{
+			QueueWaitMS: float64(start.Sub(enq).Microseconds()) / 1000,
+			ComputeMS:   float64(end.Sub(start).Microseconds()) / 1000,
+		},
+	}, nil
+}
+
+// resolvePersistent fills IN/INOUT arguments that reference server-resident
+// data by DataID.
+func (s *SeD) resolvePersistent(p *Profile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range p.Args {
+		a := &p.Args[i]
+		if p.Direction(i) == Out || a.Persist == Volatile {
+			continue
+		}
+		if a.DataID != "" && len(a.Data) == 0 {
+			if stored, ok := s.dataStore[a.DataID]; ok {
+				a.Data = stored
+			}
+		}
+	}
+}
+
+// storePersistent keeps persistent/sticky INOUT and OUT data on the server,
+// addressable by DataID in later calls.
+func (s *SeD) storePersistent(p *Profile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range p.Args {
+		a := &p.Args[i]
+		if a.Persist == Volatile || p.Direction(i) == In {
+			continue
+		}
+		if a.DataID == "" {
+			a.DataID = fmt.Sprintf("%s/%s/%d/%d", s.cfg.Name, p.Service, s.solved, i)
+		}
+		s.dataStore[a.DataID] = a.Data
+	}
+}
+
+// StoredData returns a copy of a persistent datum (for tests and tools).
+func (s *SeD) StoredData(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.dataStore[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(d))
+	copy(out, d)
+	return out, true
+}
+
+// Stats is a snapshot of SeD activity.
+type Stats struct {
+	Name      string
+	Cluster   string
+	Queued    int
+	Running   int
+	Solved    int
+	BusySecs  float64
+	LastSolve float64
+}
+
+// Stats returns an activity snapshot.
+func (s *SeD) Stats() Stats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return Stats{
+		Name:      s.cfg.Name,
+		Cluster:   s.cfg.Cluster,
+		Queued:    s.queued,
+		Running:   s.running,
+		Solved:    s.solved,
+		BusySecs:  s.busySecs,
+		LastSolve: s.lastSolveS,
+	}
+}
+
+// handler exposes the SeD over rpc.
+func (s *SeD) handler() rpc.Handler {
+	return rpc.HandlerFunc(map[string]func([]byte) ([]byte, error){
+		"Estimate": func(body []byte) ([]byte, error) {
+			var service string
+			if err := rpc.Decode(body, &service); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(s.Estimate(service))
+		},
+		"Solve": func(body []byte) ([]byte, error) {
+			var p Profile
+			if err := rpc.Decode(body, &p); err != nil {
+				return nil, err
+			}
+			reply, err := s.Solve(&p)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(reply)
+		},
+		"Ping": func([]byte) ([]byte, error) {
+			return rpc.Encode("pong")
+		},
+		"Stats": func([]byte) ([]byte, error) {
+			return rpc.Encode(s.Stats())
+		},
+		"Services": func([]byte) ([]byte, error) {
+			return rpc.Encode(s.ServiceNames())
+		},
+	})
+}

@@ -1,0 +1,163 @@
+// Package fft provides the fast Fourier transforms the cosmology stack needs:
+// an iterative radix-2 complex transform plus 3-D transforms over contiguous
+// arrays. GRAFIC uses it to filter white noise with the matter power
+// spectrum; the particle-mesh solver uses it to solve the Poisson equation on
+// the mesh. Only power-of-two lengths are supported, matching the 2^n grids
+// used throughout RAMSES/GRAFIC.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Forward computes the in-place forward DFT of data (sign convention
+// X[k] = sum_n x[n] exp(-2πi kn/N)). len(data) must be a power of two.
+func Forward(data []complex128) error { return transform(data, -1) }
+
+// Inverse computes the in-place inverse DFT including the 1/N normalisation,
+// so Inverse(Forward(x)) == x up to rounding.
+func Inverse(data []complex128) error {
+	if err := transform(data, +1); err != nil {
+		return err
+	}
+	scale := complex(1/float64(len(data)), 0)
+	for i := range data {
+		data[i] *= scale
+	}
+	return nil
+}
+
+// transform runs the iterative Cooley–Tukey radix-2 algorithm with the given
+// exponent sign.
+func transform(data []complex128, sign float64) error {
+	n := len(data)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			data[i], data[j] = data[j], data[i]
+		}
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+	}
+	// Butterfly passes.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := data[start+k]
+				b := data[start+k+half] * w
+				data[start+k] = a + b
+				data[start+k+half] = a - b
+				w *= step
+			}
+		}
+	}
+	return nil
+}
+
+// Grid3 is a cube of complex values with side n stored contiguously in
+// x-fastest order: index = (iz*n + iy)*n + ix.
+type Grid3 struct {
+	N    int
+	Data []complex128
+}
+
+// NewGrid3 allocates an n×n×n complex grid. n must be a power of two.
+func NewGrid3(n int) (*Grid3, error) {
+	if !IsPow2(n) {
+		return nil, fmt.Errorf("fft: grid side %d is not a power of two", n)
+	}
+	return &Grid3{N: n, Data: make([]complex128, n*n*n)}, nil
+}
+
+// At returns the value at (ix, iy, iz).
+func (g *Grid3) At(ix, iy, iz int) complex128 {
+	return g.Data[(iz*g.N+iy)*g.N+ix]
+}
+
+// Set stores v at (ix, iy, iz).
+func (g *Grid3) Set(ix, iy, iz int, v complex128) {
+	g.Data[(iz*g.N+iy)*g.N+ix] = v
+}
+
+// Forward3 computes the in-place 3-D forward DFT of g by transforming along
+// x, then y, then z.
+func Forward3(g *Grid3) error { return transform3(g, Forward) }
+
+// Inverse3 computes the in-place 3-D inverse DFT of g, including the 1/N³
+// normalisation (each 1-D pass carries its own 1/N).
+func Inverse3(g *Grid3) error { return transform3(g, Inverse) }
+
+// transform3 applies a 1-D transform along each of the three axes.
+func transform3(g *Grid3, pass func([]complex128) error) error {
+	n := g.N
+	// Along x: rows are contiguous.
+	for iz := 0; iz < n; iz++ {
+		for iy := 0; iy < n; iy++ {
+			row := g.Data[(iz*n+iy)*n : (iz*n+iy)*n+n]
+			if err := pass(row); err != nil {
+				return err
+			}
+		}
+	}
+	// Along y and z: gather strided lines into a scratch buffer.
+	line := make([]complex128, n)
+	for iz := 0; iz < n; iz++ {
+		for ix := 0; ix < n; ix++ {
+			for iy := 0; iy < n; iy++ {
+				line[iy] = g.Data[(iz*n+iy)*n+ix]
+			}
+			if err := pass(line); err != nil {
+				return err
+			}
+			for iy := 0; iy < n; iy++ {
+				g.Data[(iz*n+iy)*n+ix] = line[iy]
+			}
+		}
+	}
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			for iz := 0; iz < n; iz++ {
+				line[iz] = g.Data[(iz*n+iy)*n+ix]
+			}
+			if err := pass(line); err != nil {
+				return err
+			}
+			for iz := 0; iz < n; iz++ {
+				g.Data[(iz*n+iy)*n+ix] = line[iz]
+			}
+		}
+	}
+	return nil
+}
+
+// FreqIndex maps a grid index i in [0, n) to its signed frequency index in
+// [-n/2, n/2), the usual DFT frequency layout.
+func FreqIndex(i, n int) int {
+	if i <= n/2 {
+		if i == n/2 {
+			return -n / 2
+		}
+		return i
+	}
+	return i - n
+}
+
+// WaveNumber returns the physical wavenumber (2π/boxSize)·FreqIndex(i,n) for
+// grid index i on an n-point grid spanning boxSize.
+func WaveNumber(i, n int, boxSize float64) float64 {
+	return 2 * math.Pi * float64(FreqIndex(i, n)) / boxSize
+}

@@ -1,0 +1,210 @@
+// Package galics implements GalaxyMaker, the third GALICS stage: a
+// semi-analytical model (SAM) applied to the merger trees that turns
+// dark-matter halo histories into a catalog of galaxies (paper §4). The
+// recipe is the classic one: hot gas accretes with the halo, cools onto a
+// disc, forms stars on a dynamical time, supernova feedback reheats cold
+// gas, and mergers combine galaxies (with a starburst for major mergers).
+package galics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cosmo"
+	"repro/internal/mergertree"
+)
+
+// Params holds the SAM efficiencies. Defaults are in the range the original
+// GALICS papers (Hatton et al. 2003) explored.
+type Params struct {
+	BaryonFraction   float64 // Ωb/Ωm share of accreted mass entering the hot phase
+	CoolingFraction  float64 // fraction of hot gas cooling per halo dynamical time
+	SFEfficiency     float64 // fraction of cold gas turned to stars per dynamical time
+	FeedbackEta      float64 // cold gas reheated per unit stellar mass formed
+	MajorMergerRatio float64 // mass ratio above which a merger triggers a burst
+	BurstEfficiency  float64 // fraction of cold gas consumed in a burst
+	RecycleFraction  float64 // stellar mass instantaneously recycled to cold gas
+}
+
+// DefaultParams returns a reasonable GALICS-like parameter set.
+func DefaultParams() Params {
+	return Params{
+		BaryonFraction:   0.17,
+		CoolingFraction:  0.5,
+		SFEfficiency:     0.1,
+		FeedbackEta:      0.3,
+		MajorMergerRatio: 0.25,
+		BurstEfficiency:  0.6,
+		RecycleFraction:  0.3,
+	}
+}
+
+// Validate checks the parameters are in physical ranges.
+func (p Params) Validate() error {
+	frac := map[string]float64{
+		"BaryonFraction":  p.BaryonFraction,
+		"CoolingFraction": p.CoolingFraction,
+		"SFEfficiency":    p.SFEfficiency,
+		"BurstEfficiency": p.BurstEfficiency,
+		"RecycleFraction": p.RecycleFraction,
+	}
+	for name, v := range frac {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("galics: %s must be in [0,1], got %g", name, v)
+		}
+	}
+	if p.FeedbackEta < 0 {
+		return fmt.Errorf("galics: FeedbackEta must be >= 0, got %g", p.FeedbackEta)
+	}
+	if p.MajorMergerRatio <= 0 || p.MajorMergerRatio > 1 {
+		return fmt.Errorf("galics: MajorMergerRatio must be in (0,1], got %g", p.MajorMergerRatio)
+	}
+	return nil
+}
+
+// Galaxy is the model galaxy hosted by one halo node.
+type Galaxy struct {
+	HaloID      int
+	Snap        int
+	Pos         [3]float64
+	Vel         [3]float64
+	HaloMass    float64 // M☉/h
+	HotGas      float64 // M☉/h
+	ColdGas     float64 // M☉/h
+	StellarMass float64 // M☉/h
+	SFR         float64 // M☉/h per Gyr, averaged over the last interval
+	Bursts      int     // major-merger starbursts experienced
+	Mergers     int     // total mergers absorbed
+}
+
+// Catalog is the galaxy population at the final snapshot.
+type Catalog struct {
+	A        float64
+	Galaxies []Galaxy
+}
+
+// Run applies the SAM over the forest in chronological order and returns the
+// galaxy catalog at the final snapshot.
+func Run(f *mergertree.Forest, c *cosmo.Params, p Params) (*Catalog, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(f.Nodes) == 0 {
+		return nil, fmt.Errorf("galics: empty forest")
+	}
+	// state[node] accumulates the galaxy through time.
+	state := make(map[*mergertree.Node]*Galaxy)
+
+	for s, nodes := range f.Nodes {
+		a := f.Snaps[s]
+		var dtGyr float64
+		if s > 0 {
+			dtGyr = c.AgeGyr(a) - c.AgeGyr(f.Snaps[s-1])
+		}
+		tdyn := dynamicalTimeGyr(c, a)
+		for _, n := range nodes {
+			g := &Galaxy{HaloID: n.HaloID, Snap: s, Pos: n.Pos, Vel: n.Vel, HaloMass: n.Mass}
+
+			// Inherit baryons from progenitors; count mergers and bursts.
+			var inheritedHalo float64
+			var burst bool
+			for i, prog := range n.Progenitors {
+				pg := state[prog]
+				if pg == nil {
+					continue
+				}
+				g.HotGas += pg.HotGas
+				g.ColdGas += pg.ColdGas
+				g.StellarMass += pg.StellarMass
+				g.Bursts += pg.Bursts
+				g.Mergers += pg.Mergers
+				inheritedHalo += pg.HaloMass
+				if i > 0 {
+					g.Mergers++
+					main := state[n.Progenitors[0]]
+					if main != nil && main.HaloMass > 0 &&
+						pg.HaloMass/main.HaloMass >= p.MajorMergerRatio {
+						burst = true
+					}
+				}
+			}
+			// Newly accreted halo mass brings baryons into the hot phase.
+			if dm := n.Mass - inheritedHalo; dm > 0 {
+				g.HotGas += p.BaryonFraction * dm
+			}
+			if s > 0 && dtGyr > 0 {
+				steps := dtGyr / tdyn
+				// Cooling: hot → cold.
+				cool := g.HotGas * (1 - math.Pow(1-p.CoolingFraction, steps))
+				g.HotGas -= cool
+				g.ColdGas += cool
+				// Star formation on the dynamical time.
+				stars := g.ColdGas * (1 - math.Pow(1-p.SFEfficiency, steps))
+				g.ColdGas -= stars
+				// Feedback reheats cold gas proportionally to stars formed.
+				reheat := math.Min(p.FeedbackEta*stars, g.ColdGas)
+				g.ColdGas -= reheat
+				g.HotGas += reheat
+				// Instantaneous recycling.
+				recycled := p.RecycleFraction * stars
+				g.StellarMass += stars - recycled
+				g.ColdGas += recycled
+				g.SFR = stars / dtGyr
+			}
+			if burst {
+				burstStars := p.BurstEfficiency * g.ColdGas
+				g.ColdGas -= burstStars
+				g.StellarMass += burstStars * (1 - p.RecycleFraction)
+				g.ColdGas += burstStars * p.RecycleFraction
+				g.Bursts++
+			}
+			state[n] = g
+		}
+	}
+
+	final := f.Roots()
+	cat := &Catalog{A: f.Snaps[len(f.Snaps)-1]}
+	for _, n := range final {
+		if g := state[n]; g != nil {
+			cat.Galaxies = append(cat.Galaxies, *g)
+		}
+	}
+	return cat, nil
+}
+
+// dynamicalTimeGyr is the halo dynamical time ~ 0.1/H(a), in Gyr.
+func dynamicalTimeGyr(c *cosmo.Params, a float64) float64 {
+	return 0.1 * c.HubbleTimeGyr() / c.E(a)
+}
+
+// StellarMassFunction bins the catalog's stellar masses into dex-wide bins of
+// log10(M*) and returns bin centres and counts — a standard SAM diagnostic
+// used in tests and examples.
+func (cat *Catalog) StellarMassFunction(lo, hi float64, nbins int) (centers []float64, counts []int) {
+	centers = make([]float64, nbins)
+	counts = make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for i := range centers {
+		centers[i] = lo + (float64(i)+0.5)*width
+	}
+	for _, g := range cat.Galaxies {
+		if g.StellarMass <= 0 {
+			continue
+		}
+		lm := math.Log10(g.StellarMass)
+		if lm < lo || lm >= hi {
+			continue
+		}
+		counts[int((lm-lo)/width)]++
+	}
+	return centers, counts
+}
+
+// TotalStellarMass sums the stellar mass of the catalog.
+func (cat *Catalog) TotalStellarMass() float64 {
+	var m float64
+	for _, g := range cat.Galaxies {
+		m += g.StellarMass
+	}
+	return m
+}

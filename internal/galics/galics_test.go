@@ -1,0 +1,244 @@
+package galics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cosmo"
+	"repro/internal/halo"
+	"repro/internal/mergertree"
+)
+
+func mkForest(t *testing.T, cats []*halo.Catalog) *mergertree.Forest {
+	t.Helper()
+	f, err := mergertree.Build(cats, mergertree.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func catWith(a float64, groups ...[]int64) *halo.Catalog {
+	cat := &halo.Catalog{A: a, Box: 100}
+	for i, ids := range groups {
+		cat.Halos = append(cat.Halos, halo.Halo{
+			ID: i, NPart: len(ids), Mass: 1e12 * float64(len(ids)) / 100, IDs: ids,
+		})
+	}
+	return cat
+}
+
+func seq(lo, hi int64) []int64 {
+	var out []int64
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("defaults must validate: %v", err)
+	}
+	bad := DefaultParams()
+	bad.SFEfficiency = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("SFEfficiency > 1 should fail")
+	}
+	bad = DefaultParams()
+	bad.FeedbackEta = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative FeedbackEta should fail")
+	}
+	bad = DefaultParams()
+	bad.MajorMergerRatio = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MajorMergerRatio should fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := cosmo.WMAP3()
+	f := &mergertree.Forest{}
+	if _, err := Run(f, c, DefaultParams()); err == nil {
+		t.Error("empty forest should fail")
+	}
+	good := mkForest(t, []*halo.Catalog{catWith(1.0, seq(0, 100))})
+	bad := DefaultParams()
+	bad.BaryonFraction = 2
+	if _, err := Run(good, c, bad); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestStarsFormOverTime(t *testing.T) {
+	c := cosmo.WMAP3()
+	// One halo persisting over five snapshots.
+	var cats []*halo.Catalog
+	for _, a := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		cats = append(cats, catWith(a, seq(0, 100)))
+	}
+	f := mkForest(t, cats)
+	cat, err := Run(f, c, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Galaxies) != 1 {
+		t.Fatalf("%d galaxies, want 1", len(cat.Galaxies))
+	}
+	g := cat.Galaxies[0]
+	if g.StellarMass <= 0 {
+		t.Error("no stars formed over 5 snapshots")
+	}
+	if g.ColdGas < 0 || g.HotGas < 0 {
+		t.Errorf("negative gas reservoirs: cold %g hot %g", g.ColdGas, g.HotGas)
+	}
+}
+
+func TestBaryonBudgetClosed(t *testing.T) {
+	c := cosmo.WMAP3()
+	var cats []*halo.Catalog
+	for _, a := range []float64{0.25, 0.5, 0.75, 1.0} {
+		cats = append(cats, catWith(a, seq(0, 200)))
+	}
+	f := mkForest(t, cats)
+	p := DefaultParams()
+	cat, err := Run(f, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cat.Galaxies[0]
+	// Total baryons = accreted fraction of the (constant-mass) halo.
+	baryons := g.HotGas + g.ColdGas + g.StellarMass
+	want := p.BaryonFraction * g.HaloMass
+	if math.Abs(baryons-want)/want > 1e-9 {
+		t.Errorf("baryon budget %g, want %g", baryons, want)
+	}
+}
+
+func TestGrowingHaloAccretesMore(t *testing.T) {
+	c := cosmo.WMAP3()
+	constant := []*halo.Catalog{
+		catWith(0.5, seq(0, 100)),
+		catWith(1.0, seq(0, 100)),
+	}
+	growing := []*halo.Catalog{
+		catWith(0.5, seq(0, 100)),
+		catWith(1.0, seq(0, 200)), // doubled mass, same particles kept
+	}
+	// Keep particle continuity for the link.
+	growing[1].Halos[0].IDs = seq(0, 200)
+	pc, err := Run(mkForest(t, constant), c, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := Run(mkForest(t, growing), c, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := pc.Galaxies[0].HotGas + pc.Galaxies[0].ColdGas + pc.Galaxies[0].StellarMass
+	bg := pg.Galaxies[0].HotGas + pg.Galaxies[0].ColdGas + pg.Galaxies[0].StellarMass
+	if bg <= bc {
+		t.Errorf("growing halo baryons %g should exceed constant halo's %g", bg, bc)
+	}
+}
+
+func TestMajorMergerTriggersBurst(t *testing.T) {
+	c := cosmo.WMAP3()
+	// Two comparable halos merging -> major merger, burst.
+	major := []*halo.Catalog{
+		catWith(0.5, seq(0, 100), seq(200, 290)),
+		catWith(1.0, append(seq(0, 100), seq(200, 290)...)),
+	}
+	// A tiny halo absorbed -> minor merger, no burst.
+	minor := []*halo.Catalog{
+		catWith(0.5, seq(0, 100), seq(200, 210)),
+		catWith(1.0, append(seq(0, 100), seq(200, 210)...)),
+	}
+	gm, err := Run(mkForest(t, major), c, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn, err := Run(mkForest(t, minor), c, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Galaxies[0].Bursts != 1 {
+		t.Errorf("major merger bursts = %d, want 1", gm.Galaxies[0].Bursts)
+	}
+	if gn.Galaxies[0].Bursts != 0 {
+		t.Errorf("minor merger bursts = %d, want 0", gn.Galaxies[0].Bursts)
+	}
+	if gm.Galaxies[0].Mergers != 1 || gn.Galaxies[0].Mergers != 1 {
+		t.Error("both cases absorb exactly one merger")
+	}
+}
+
+func TestMergerCombinesBaryons(t *testing.T) {
+	c := cosmo.WMAP3()
+	merged := []*halo.Catalog{
+		catWith(0.5, seq(0, 100), seq(200, 300)),
+		catWith(1.0, append(seq(0, 100), seq(200, 300)...)),
+	}
+	cat, err := Run(mkForest(t, merged), c, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Galaxies) != 1 {
+		t.Fatalf("%d galaxies after merger, want 1", len(cat.Galaxies))
+	}
+	g := cat.Galaxies[0]
+	baryons := g.HotGas + g.ColdGas + g.StellarMass
+	want := DefaultParams().BaryonFraction * g.HaloMass
+	if math.Abs(baryons-want)/want > 1e-9 {
+		t.Errorf("post-merger baryons %g, want %g", baryons, want)
+	}
+}
+
+func TestFeedbackSuppressesStars(t *testing.T) {
+	c := cosmo.WMAP3()
+	var cats []*halo.Catalog
+	for _, a := range []float64{0.25, 0.5, 0.75, 1.0} {
+		cats = append(cats, catWith(a, seq(0, 100)))
+	}
+	weak := DefaultParams()
+	weak.FeedbackEta = 0
+	strong := DefaultParams()
+	strong.FeedbackEta = 1.0
+	gw, err := Run(mkForest(t, cats), c, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := Run(mkForest(t, cats), c, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Galaxies[0].StellarMass >= gw.Galaxies[0].StellarMass {
+		t.Errorf("stronger feedback should suppress stars: %g vs %g",
+			gs.Galaxies[0].StellarMass, gw.Galaxies[0].StellarMass)
+	}
+}
+
+func TestStellarMassFunction(t *testing.T) {
+	cat := &Catalog{Galaxies: []Galaxy{
+		{StellarMass: 1e9}, {StellarMass: 2e9}, {StellarMass: 5e10}, {StellarMass: 0},
+	}}
+	centers, counts := cat.StellarMassFunction(8, 12, 4)
+	if len(centers) != 4 || len(counts) != 4 {
+		t.Fatal("wrong bin count")
+	}
+	// 1e9 and 2e9 land in [9,10); 5e10 in [10,11); 0 is skipped.
+	if counts[1] != 2 || counts[2] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if total := counts[0] + counts[1] + counts[2] + counts[3]; total != 3 {
+		t.Errorf("binned %d galaxies, want 3", total)
+	}
+}
+
+func TestTotalStellarMass(t *testing.T) {
+	cat := &Catalog{Galaxies: []Galaxy{{StellarMass: 1}, {StellarMass: 2.5}}}
+	if m := cat.TotalStellarMass(); m != 3.5 {
+		t.Errorf("TotalStellarMass = %g", m)
+	}
+}

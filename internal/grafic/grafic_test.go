@@ -1,0 +1,321 @@
+package grafic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cosmo"
+)
+
+func newGen(t *testing.T, seed int64) *Generator {
+	t.Helper()
+	g, err := New(cosmo.WMAP3(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewRejectsBadCosmology(t *testing.T) {
+	if _, err := New(&cosmo.Params{}, 1); err == nil {
+		t.Error("expected error for invalid cosmology")
+	}
+}
+
+func TestWhiteNoiseStatistics(t *testing.T) {
+	g := newGen(t, 7)
+	grid, err := g.WhiteNoise(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3 := float64(len(grid.Data))
+	var mean, m2 float64
+	for _, v := range grid.Data {
+		mean += real(v)
+	}
+	mean /= n3
+	for _, v := range grid.Data {
+		d := real(v) - mean
+		m2 += d * d
+	}
+	variance := m2 / n3
+	if math.Abs(mean) > 4/math.Sqrt(n3) {
+		t.Errorf("white-noise mean %g too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("white-noise variance %g, want ≈ 1", variance)
+	}
+}
+
+func TestWhiteNoiseDeterminism(t *testing.T) {
+	g1 := newGen(t, 42)
+	g2 := newGen(t, 42)
+	a, _ := g1.WhiteNoise(8, 3)
+	b, _ := g2.WhiteNoise(8, 3)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed+tag must reproduce the field")
+		}
+	}
+	c, _ := g1.WhiteNoise(8, 4)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different tags must give different noise")
+	}
+}
+
+func TestRollWhiteNoise(t *testing.T) {
+	g := newGen(t, 1)
+	grid, _ := g.WhiteNoise(8, 0)
+	rolled := RollWhiteNoise(grid, 3, -2, 8) // 8 ≡ 0 mod 8
+	for iz := 0; iz < 8; iz++ {
+		for iy := 0; iy < 8; iy++ {
+			for ix := 0; ix < 8; ix++ {
+				want := grid.At(ix, iy, iz)
+				got := rolled.At((ix+3)%8, ((iy-2)%8+8)%8, iz)
+				if got != want {
+					t.Fatalf("roll broken at (%d,%d,%d)", ix, iy, iz)
+				}
+			}
+		}
+	}
+	// Rolling back must restore the field.
+	back := RollWhiteNoise(rolled, -3, 2, 0)
+	for i := range grid.Data {
+		if back.Data[i] != grid.Data[i] {
+			t.Fatal("roll is not invertible")
+		}
+	}
+}
+
+func TestDeltaFieldZeroMean(t *testing.T) {
+	g := newGen(t, 5)
+	delta, err := g.DeltaField(16, 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range delta.Data {
+		mean += real(v)
+		if math.Abs(imag(v)) > 1e-9 {
+			t.Fatalf("delta has imaginary part %g", imag(v))
+		}
+	}
+	mean /= float64(len(delta.Data))
+	if math.Abs(mean) > 1e-10 {
+		t.Errorf("delta mean %g, want 0 (k=0 mode removed)", mean)
+	}
+}
+
+func TestDeltaFieldGrowsWithA(t *testing.T) {
+	g := newGen(t, 5)
+	rms := func(a float64) float64 {
+		delta, err := g.DeltaField(16, 100, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range delta.Data {
+			sum += real(v) * real(v)
+		}
+		return math.Sqrt(sum / float64(len(delta.Data)))
+	}
+	r1, r2 := rms(0.2), rms(0.8)
+	c := cosmo.WMAP3()
+	wantRatio := c.GrowthFactor(0.8) / c.GrowthFactor(0.2)
+	gotRatio := r2 / r1
+	if math.Abs(gotRatio-wantRatio)/wantRatio > 1e-6 {
+		t.Errorf("rms ratio %g, want growth ratio %g", gotRatio, wantRatio)
+	}
+}
+
+func TestSingleLevelICs(t *testing.T) {
+	g := newGen(t, 11)
+	const n = 16
+	ics, err := g.SingleLevel(n, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ics.Parts) != n*n*n {
+		t.Fatalf("%d particles, want %d", len(ics.Parts), n*n*n)
+	}
+	if err := ics.Parts.Validate(); err != nil {
+		t.Fatalf("IC particles invalid: %v", err)
+	}
+	// Mass conservation: total = ΩM·ρc·V exactly.
+	want := ics.Cosmo.OmegaM * cosmo.RhoCritMsunMpc3 * 100 * 100 * 100
+	got := ics.Parts.TotalMass()
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("total mass %g, want %g", got, want)
+	}
+	// Displacements from the grid should be small at a=0.1 (linear regime):
+	// every particle stays within a cell or two of its Lagrangian point.
+	maxDisp := 0.0
+	cell := 1.0 / n
+	i := 0
+	for iz := 0; iz < n; iz++ {
+		for iy := 0; iy < n; iy++ {
+			for ix := 0; ix < n; ix++ {
+				q := [3]float64{(float64(ix) + 0.5) / n, (float64(iy) + 0.5) / n, (float64(iz) + 0.5) / n}
+				p := ics.Parts[i]
+				for d := 0; d < 3; d++ {
+					dd := math.Abs(p.Pos[d] - q[d])
+					if dd > 0.5 {
+						dd = 1 - dd
+					}
+					if dd > maxDisp {
+						maxDisp = dd
+					}
+				}
+				i++
+			}
+		}
+	}
+	if maxDisp > 2*cell {
+		t.Errorf("max Zel'dovich displacement %g box units exceeds 2 cells (%g)", maxDisp, 2*cell)
+	}
+	if ics.Delta == nil || len(ics.Levels) != 1 {
+		t.Error("single-level ICs should carry one level and the delta field")
+	}
+}
+
+func TestSingleLevelVelocityDisplacementCoherence(t *testing.T) {
+	// The Zel'dovich growing mode makes velocity exactly parallel to
+	// displacement: v = f(a)·disp with a single global factor.
+	g := newGen(t, 13)
+	const n = 8
+	astart := 0.15
+	ics, err := g.SingleLevel(n, 50, astart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	velFactor := astart * 100 * ics.Cosmo.E(astart) * ics.Cosmo.GrowthRate(astart)
+	i := 0
+	for iz := 0; iz < n; iz++ {
+		for iy := 0; iy < n; iy++ {
+			for ix := 0; ix < n; ix++ {
+				q := [3]float64{(float64(ix) + 0.5) / n, (float64(iy) + 0.5) / n, (float64(iz) + 0.5) / n}
+				p := ics.Parts[i]
+				for d := 0; d < 3; d++ {
+					dispBox := p.Pos[d] - q[d]
+					if dispBox > 0.5 {
+						dispBox -= 1
+					}
+					if dispBox < -0.5 {
+						dispBox += 1
+					}
+					dispMpc := dispBox * 50
+					wantVel := velFactor * dispMpc
+					if math.Abs(p.Vel[d]-wantVel) > 1e-6*(1+math.Abs(wantVel)) {
+						t.Fatalf("particle %d dim %d: vel %g, want %g", i, d, p.Vel[d], wantVel)
+					}
+				}
+				i++
+			}
+		}
+	}
+}
+
+func TestSingleLevelRejectsBadAstart(t *testing.T) {
+	g := newGen(t, 1)
+	for _, a := range []float64{0, -0.5, 1.5} {
+		if _, err := g.SingleLevel(8, 100, a); err == nil {
+			t.Errorf("astart=%g should be rejected", a)
+		}
+	}
+}
+
+func TestMultiLevelTiling(t *testing.T) {
+	g := newGen(t, 21)
+	const n = 8
+	for _, nLevels := range []int{2, 3} {
+		ics, err := g.MultiLevel(n, 100, 0.1, [3]float64{0.5, 0.5, 0.5}, nLevels)
+		if err != nil {
+			t.Fatalf("nLevels=%d: %v", nLevels, err)
+		}
+		// Each level contributes n³ cells minus the (n/2)³ covered by the
+		// next finer box; the finest contributes all n³.
+		want := nLevels*n*n*n - (nLevels-1)*(n/2)*(n/2)*(n/2)
+		if len(ics.Parts) != want {
+			t.Errorf("nLevels=%d: %d particles, want %d", nLevels, len(ics.Parts), want)
+		}
+		if err := ics.Parts.Validate(); err != nil {
+			t.Errorf("nLevels=%d: invalid particles: %v", nLevels, err)
+		}
+		// Mass is conserved exactly: replacing a coarse region by 8× finer
+		// particles keeps the total.
+		wantMass := ics.Cosmo.OmegaM * cosmo.RhoCritMsunMpc3 * 1e6
+		if got := ics.Parts.TotalMass(); math.Abs(got-wantMass)/wantMass > 1e-9 {
+			t.Errorf("nLevels=%d: total mass %g, want %g", nLevels, got, wantMass)
+		}
+		if len(ics.Levels) != nLevels {
+			t.Errorf("nLevels=%d: %d level records", nLevels, len(ics.Levels))
+		}
+	}
+}
+
+func TestMultiLevelResolutionContrast(t *testing.T) {
+	// Inside the zoom box particles are 8× lighter per level.
+	g := newGen(t, 23)
+	const n = 8
+	center := [3]float64{0.5, 0.5, 0.5}
+	ics, err := g.MultiLevel(n, 100, 0.1, center, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	massTop := ics.Cosmo.ParticleMass(100, n)
+	var light, heavy int
+	for _, p := range ics.Parts {
+		switch {
+		case math.Abs(p.Mass-massTop) < 1e-6*massTop:
+			heavy++
+		case math.Abs(p.Mass-massTop/8) < 1e-6*massTop:
+			light++
+		default:
+			t.Fatalf("unexpected particle mass %g", p.Mass)
+		}
+	}
+	if light != n*n*n {
+		t.Errorf("%d fine particles, want %d", light, n*n*n)
+	}
+	if heavy != n*n*n-(n/2)*(n/2)*(n/2) {
+		t.Errorf("%d coarse particles, want %d", heavy, n*n*n-(n/2)*(n/2)*(n/2))
+	}
+}
+
+func TestMultiLevelOneLevelEqualsSingle(t *testing.T) {
+	g1 := newGen(t, 31)
+	g2 := newGen(t, 31)
+	a, err := g1.MultiLevel(8, 100, 0.1, [3]float64{0.3, 0.3, 0.3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g2.SingleLevel(8, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Parts) != len(b.Parts) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Parts), len(b.Parts))
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			t.Fatal("MultiLevel(1) must equal SingleLevel")
+		}
+	}
+}
+
+func TestMultiLevelRejectsBadArgs(t *testing.T) {
+	g := newGen(t, 1)
+	if _, err := g.MultiLevel(8, 100, 0.1, [3]float64{}, 0); err == nil {
+		t.Error("nLevels=0 should be rejected")
+	}
+	if _, err := g.MultiLevel(8, 100, 2.0, [3]float64{}, 2); err == nil {
+		t.Error("astart>1 should be rejected")
+	}
+}

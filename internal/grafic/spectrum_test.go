@@ -1,0 +1,113 @@
+package grafic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cosmo"
+	"repro/internal/fft"
+)
+
+func TestMeasurePowerRecoversInputSpectrum(t *testing.T) {
+	// The loop-closure test of the IC generator: the spectrum measured from
+	// a realisation must match the cosmology's P(k,a) within the per-shell
+	// sample variance (≈ P·√(2/modes)).
+	c := cosmo.WMAP3()
+	g, err := New(c, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	const box = 200.0
+	const a = 0.5
+	delta, err := g.DeltaField(n, box, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, pk, modes, err := MeasurePower(delta, box, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for b := range k {
+		if modes[b] < 50 {
+			continue // too noisy to test
+		}
+		want := c.PowerAt(k[b], a)
+		sigma := want * math.Sqrt(2/float64(modes[b]))
+		// Allow 4σ plus a 10% binning/aliasing allowance.
+		tol := 4*sigma + 0.1*want
+		if math.Abs(pk[b]-want) > tol {
+			t.Errorf("bin k=%.3f: measured %.4g, want %.4g ± %.2g (%d modes)",
+				k[b], pk[b], want, tol, modes[b])
+		}
+		checked++
+	}
+	if checked < 3 {
+		t.Fatalf("only %d usable bins; measurement too coarse", checked)
+	}
+}
+
+func TestMeasurePowerGrowsWithA(t *testing.T) {
+	c := cosmo.WMAP3()
+	g, _ := New(c, 7)
+	early, err := g.DeltaField(16, 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := g.DeltaField(16, 100, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pe, _, err := MeasurePower(early, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pl, _, err := MeasurePower(late, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth2 := math.Pow(c.GrowthFactor(0.8)/c.GrowthFactor(0.2), 2)
+	for b := range pe {
+		if pe[b] == 0 {
+			continue
+		}
+		ratio := pl[b] / pe[b]
+		// Same realisation, same seed: the ratio is exactly D²(0.8)/D²(0.2).
+		if math.Abs(ratio-growth2)/growth2 > 1e-6 {
+			t.Errorf("bin %d: power ratio %g, want exactly %g", b, ratio, growth2)
+		}
+	}
+}
+
+func TestMeasurePowerWhiteNoiseIsFlat(t *testing.T) {
+	// White noise has P(k) = V/N³ independent of k.
+	c := cosmo.WMAP3()
+	g, _ := New(c, 99)
+	noise, err := g.WhiteNoise(32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const box = 100.0
+	k, pk, modes, err := MeasurePower(noise, box, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := box * box * box / float64(32*32*32)
+	for b := range k {
+		if modes[b] < 100 {
+			continue
+		}
+		sigma := want * math.Sqrt(2/float64(modes[b]))
+		if math.Abs(pk[b]-want) > 5*sigma {
+			t.Errorf("white-noise bin k=%.3f: %g, want %g ± %g", k[b], pk[b], want, 5*sigma)
+		}
+	}
+}
+
+func TestMeasurePowerValidation(t *testing.T) {
+	grid, _ := fft.NewGrid3(8)
+	if _, _, _, err := MeasurePower(grid, 100, 0); err == nil {
+		t.Error("nbins=0 should fail")
+	}
+}

@@ -1,0 +1,132 @@
+package halo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fortranio"
+)
+
+// The catalog file layout follows the GALICS "tree_brick" spirit: a header
+// record with snapshot metadata, then per-halo records (properties followed
+// by the member particle ID list). Everything is framed as Fortran
+// unformatted records so the files round-trip through the same fortranio
+// layer the simulation snapshots use.
+
+// WriteCatalog writes the catalog to w.
+func WriteCatalog(w io.Writer, c *Catalog) error {
+	fw := fortranio.NewWriter(w)
+	if err := fw.WriteFloat64s([]float64{c.A, c.Box, c.BValue, float64(c.NPart)}); err != nil {
+		return err
+	}
+	if err := fw.WriteInt32(int32(len(c.Halos))); err != nil {
+		return err
+	}
+	for i := range c.Halos {
+		h := &c.Halos[i]
+		props := []float64{
+			float64(h.ID), float64(h.NPart), h.Mass,
+			h.Pos[0], h.Pos[1], h.Pos[2],
+			h.Vel[0], h.Vel[1], h.Vel[2],
+			h.R,
+		}
+		if err := fw.WriteFloat64s(props); err != nil {
+			return err
+		}
+		ids := make([]byte, 8*len(h.IDs))
+		for j, id := range h.IDs {
+			for b := 0; b < 8; b++ {
+				ids[8*j+b] = byte(id >> (8 * b))
+			}
+		}
+		if err := fw.WriteRecord(ids); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCatalog reads a catalog written by WriteCatalog.
+func ReadCatalog(r io.Reader) (*Catalog, error) {
+	fr := fortranio.NewReader(r)
+	head, err := fr.ReadFloat64s()
+	if err != nil {
+		return nil, err
+	}
+	if len(head) != 4 {
+		return nil, fmt.Errorf("halo: catalog header has %d fields, want 4", len(head))
+	}
+	c := &Catalog{A: head[0], Box: head[1], BValue: head[2], NPart: int(head[3])}
+	nh, err := fr.ReadInt32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nh); i++ {
+		props, err := fr.ReadFloat64s()
+		if err != nil {
+			return nil, fmt.Errorf("halo: reading halo %d properties: %w", i, err)
+		}
+		if len(props) != 10 {
+			return nil, fmt.Errorf("halo: halo %d has %d properties, want 10", i, len(props))
+		}
+		h := Halo{
+			ID:    int(props[0]),
+			NPart: int(props[1]),
+			Mass:  props[2],
+			Pos:   [3]float64{props[3], props[4], props[5]},
+			Vel:   [3]float64{props[6], props[7], props[8]},
+			R:     props[9],
+		}
+		raw, err := fr.ReadRecord()
+		if err != nil {
+			return nil, fmt.Errorf("halo: reading halo %d member IDs: %w", i, err)
+		}
+		if len(raw)%8 != 0 {
+			return nil, fmt.Errorf("halo: halo %d ID record length %d not multiple of 8", i, len(raw))
+		}
+		h.IDs = make([]int64, len(raw)/8)
+		for j := range h.IDs {
+			var v uint64
+			for b := 0; b < 8; b++ {
+				v |= uint64(raw[8*j+b]) << (8 * b)
+			}
+			h.IDs[j] = int64(v)
+		}
+		c.Halos = append(c.Halos, h)
+	}
+	return c, nil
+}
+
+// SaveCatalog writes the catalog to path, creating parent directories.
+func SaveCatalog(path string, c *Catalog) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := WriteCatalog(bw, c); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCatalog reads a catalog from path.
+func LoadCatalog(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCatalog(bufio.NewReader(f))
+}

@@ -1,0 +1,87 @@
+package halo
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	parts := clump(rng, [3]float64{0.3, 0.3, 0.3}, 120, 0.004, 0)
+	parts = append(parts, clump(rng, [3]float64{0.7, 0.7, 0.7}, 60, 0.004, 1000)...)
+	cat, err := FindHalos(parts, 0.5, 100, Params{LinkingLength: 0.3, MinParticles: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Halos) < 2 {
+		t.Fatalf("sample catalog has %d halos", len(cat.Halos))
+	}
+	return cat
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	cat := sampleCatalog(t)
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, cat); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCatalog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A != cat.A || got.Box != cat.Box || got.BValue != cat.BValue || got.NPart != cat.NPart {
+		t.Errorf("metadata mismatch: %+v vs %+v", got, cat)
+	}
+	if len(got.Halos) != len(cat.Halos) {
+		t.Fatalf("%d halos, want %d", len(got.Halos), len(cat.Halos))
+	}
+	for i := range cat.Halos {
+		if !reflect.DeepEqual(got.Halos[i], cat.Halos[i]) {
+			t.Errorf("halo %d differs:\n got %+v\nwant %+v", i, got.Halos[i], cat.Halos[i])
+		}
+	}
+}
+
+func TestCatalogFileRoundTrip(t *testing.T) {
+	cat := sampleCatalog(t)
+	path := filepath.Join(t.TempDir(), "out", "halos.dat")
+	if err := SaveCatalog(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Halos) != len(cat.Halos) {
+		t.Errorf("%d halos, want %d", len(got.Halos), len(cat.Halos))
+	}
+}
+
+func TestReadCatalogRejectsGarbage(t *testing.T) {
+	if _, err := ReadCatalog(bytes.NewReader([]byte("not a catalog"))); err == nil {
+		t.Error("expected error for garbage input")
+	}
+	var empty bytes.Buffer
+	if _, err := ReadCatalog(&empty); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestEmptyCatalogRoundTrip(t *testing.T) {
+	cat := &Catalog{A: 1, Box: 100, BValue: 0.2}
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, cat); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Halos) != 0 {
+		t.Errorf("expected empty catalog, got %d halos", len(got.Halos))
+	}
+}

@@ -1,0 +1,214 @@
+// Package halo implements HaloMaker, the first GALICS post-processing stage:
+// it detects dark-matter halos in a RAMSES snapshot with the friends-of-
+// friends (FoF) algorithm and produces the catalog of halo positions, masses
+// and velocities from which the zoom targets are selected (paper §4).
+package halo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/particles"
+)
+
+// Params configures the FoF finder.
+type Params struct {
+	LinkingLength float64 // b, in units of the mean inter-particle separation (standard 0.2)
+	MinParticles  int     // discard groups smaller than this (standard 20)
+}
+
+// DefaultParams returns the community-standard FoF configuration.
+func DefaultParams() Params { return Params{LinkingLength: 0.2, MinParticles: 20} }
+
+// Halo is one detected dark-matter halo.
+type Halo struct {
+	ID    int        // catalog index, densest first
+	NPart int        // member particle count
+	Mass  float64    // total member mass, M☉/h
+	Pos   [3]float64 // centre of mass, box units (periodically unwrapped)
+	Vel   [3]float64 // mass-weighted mean peculiar velocity, km/s
+	R     float64    // RMS member distance from centre, box units
+	IDs   []int64    // member particle IDs, sorted (TreeMaker matches on these)
+}
+
+// Catalog is a set of halos found in one snapshot, sorted by mass descending.
+type Catalog struct {
+	A      float64 // expansion factor of the snapshot
+	Box    float64 // box size, Mpc/h
+	Halos  []Halo
+	NPart  int // particles in the searched snapshot
+	BValue float64
+}
+
+// FindHalos runs friends-of-friends on the particle set. The linking length
+// is params.LinkingLength × n^(−1/3) in box units, where n is the particle
+// count: two particles are friends when closer than that, and halos are the
+// transitive closures. A cell grid of the linking length's size reduces the
+// pair search to the 27 neighbouring cells.
+func FindHalos(parts particles.Set, a, box float64, params Params) (*Catalog, error) {
+	if params.LinkingLength <= 0 {
+		return nil, fmt.Errorf("halo: linking length must be positive, got %g", params.LinkingLength)
+	}
+	if params.MinParticles < 1 {
+		return nil, fmt.Errorf("halo: MinParticles must be >= 1, got %d", params.MinParticles)
+	}
+	n := len(parts)
+	cat := &Catalog{A: a, Box: box, NPart: n, BValue: params.LinkingLength}
+	if n == 0 {
+		return cat, nil
+	}
+	link := params.LinkingLength / math.Cbrt(float64(n))
+	link2 := link * link
+
+	// Bin particles on a grid with cell >= linking length so that all
+	// friends of a particle lie in the 27 surrounding cells.
+	ncell := int(1 / link)
+	if ncell < 1 {
+		ncell = 1
+	}
+	if ncell > 256 {
+		ncell = 256
+	}
+	cellOf := func(pos [3]float64) int {
+		ix := int(particles.Wrap(pos[0]) * float64(ncell))
+		iy := int(particles.Wrap(pos[1]) * float64(ncell))
+		iz := int(particles.Wrap(pos[2]) * float64(ncell))
+		if ix >= ncell {
+			ix = ncell - 1
+		}
+		if iy >= ncell {
+			iy = ncell - 1
+		}
+		if iz >= ncell {
+			iz = ncell - 1
+		}
+		return (iz*ncell+iy)*ncell + ix
+	}
+	cells := make(map[int][]int)
+	for i := range parts {
+		c := cellOf(parts[i].Pos)
+		cells[c] = append(cells[c], i)
+	}
+
+	uf := newUnionFind(n)
+	mod := func(v int) int {
+		v %= ncell
+		if v < 0 {
+			v += ncell
+		}
+		return v
+	}
+	for i := range parts {
+		pi := parts[i].Pos
+		ix := int(particles.Wrap(pi[0]) * float64(ncell))
+		iy := int(particles.Wrap(pi[1]) * float64(ncell))
+		iz := int(particles.Wrap(pi[2]) * float64(ncell))
+		for dz := -1; dz <= 1; dz++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					c := (mod(iz+dz)*ncell+mod(iy+dy))*ncell + mod(ix+dx)
+					for _, j := range cells[c] {
+						if j <= i {
+							continue // each pair once
+						}
+						if particles.Dist2(pi, parts[j].Pos) <= link2 {
+							uf.union(i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Collect groups.
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := uf.find(i)
+		groups[r] = append(groups[r], i)
+	}
+	for _, members := range groups {
+		if len(members) < params.MinParticles {
+			continue
+		}
+		cat.Halos = append(cat.Halos, makeHalo(parts, members))
+	}
+	sort.Slice(cat.Halos, func(i, j int) bool {
+		if cat.Halos[i].Mass != cat.Halos[j].Mass {
+			return cat.Halos[i].Mass > cat.Halos[j].Mass
+		}
+		return cat.Halos[i].IDs[0] < cat.Halos[j].IDs[0] // deterministic tie-break
+	})
+	for i := range cat.Halos {
+		cat.Halos[i].ID = i
+	}
+	return cat, nil
+}
+
+// makeHalo aggregates the member particles into a Halo, unwrapping periodic
+// images around the first member so the centre of mass is meaningful for
+// groups straddling the box edge.
+func makeHalo(parts particles.Set, members []int) Halo {
+	ref := parts[members[0]].Pos
+	var h Halo
+	h.NPart = len(members)
+	var com [3]float64
+	for _, idx := range members {
+		p := &parts[idx]
+		h.Mass += p.Mass
+		for d := 0; d < 3; d++ {
+			com[d] += p.Mass * (ref[d] + particles.PeriodicDelta(p.Pos[d], ref[d]))
+			h.Vel[d] += p.Mass * p.Vel[d]
+		}
+		h.IDs = append(h.IDs, p.ID)
+	}
+	for d := 0; d < 3; d++ {
+		com[d] /= h.Mass
+		h.Vel[d] /= h.Mass
+		com[d] = particles.Wrap(com[d])
+	}
+	h.Pos = com
+	var r2sum float64
+	for _, idx := range members {
+		r2sum += parts[idx].Mass * particles.Dist2(parts[idx].Pos, com)
+	}
+	h.R = math.Sqrt(r2sum / h.Mass)
+	sort.Slice(h.IDs, func(i, j int) bool { return h.IDs[i] < h.IDs[j] })
+	return h
+}
+
+// unionFind is a weighted quick-union with path compression.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}

@@ -1,0 +1,240 @@
+package halo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/particles"
+)
+
+// clump drops n particles in a Gaussian ball of width sigma at center.
+func clump(rng *rand.Rand, center [3]float64, n int, sigma float64, idBase int64) particles.Set {
+	var out particles.Set
+	for i := 0; i < n; i++ {
+		var p particles.Particle
+		for d := 0; d < 3; d++ {
+			p.Pos[d] = particles.Wrap(center[d] + sigma*rng.NormFloat64())
+			p.Vel[d] = 100 * rng.NormFloat64()
+		}
+		p.Mass = 1
+		p.ID = idBase + int64(i)
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestFindHalosValidation(t *testing.T) {
+	if _, err := FindHalos(nil, 1, 100, Params{LinkingLength: 0, MinParticles: 20}); err == nil {
+		t.Error("expected error for zero linking length")
+	}
+	if _, err := FindHalos(nil, 1, 100, Params{LinkingLength: 0.2, MinParticles: 0}); err == nil {
+		t.Error("expected error for MinParticles 0")
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	cat, err := FindHalos(nil, 1, 100, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Halos) != 0 || cat.NPart != 0 {
+		t.Errorf("empty catalog expected, got %+v", cat)
+	}
+}
+
+func TestTwoClumpsFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Background of 4000 scattered particles gives a mean separation of
+	// ~0.063, so the linking length is ~0.0126; clumps of width 0.003 link.
+	var parts particles.Set
+	for i := 0; i < 4000; i++ {
+		parts = append(parts, particles.Particle{
+			Pos:  [3]float64{rng.Float64(), rng.Float64(), rng.Float64()},
+			Mass: 1, ID: int64(i),
+		})
+	}
+	parts = append(parts, clump(rng, [3]float64{0.25, 0.25, 0.25}, 200, 0.003, 10000)...)
+	parts = append(parts, clump(rng, [3]float64{0.75, 0.75, 0.75}, 100, 0.003, 20000)...)
+
+	cat, err := FindHalos(parts, 1, 100, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Halos) < 2 {
+		t.Fatalf("found %d halos, want at least the two planted clumps", len(cat.Halos))
+	}
+	// The two most massive halos are the planted clumps, ordered by mass.
+	h0, h1 := cat.Halos[0], cat.Halos[1]
+	if h0.Mass < h1.Mass {
+		t.Error("catalog not sorted by mass")
+	}
+	if h0.NPart < 180 {
+		t.Errorf("main clump has %d members, want ≈200", h0.NPart)
+	}
+	near := func(h Halo, want [3]float64) bool {
+		return particles.Dist2(h.Pos, want) < 0.02*0.02
+	}
+	if !near(h0, [3]float64{0.25, 0.25, 0.25}) {
+		t.Errorf("main halo at %v, want near 0.25³", h0.Pos)
+	}
+	if !near(h1, [3]float64{0.75, 0.75, 0.75}) {
+		t.Errorf("second halo at %v, want near 0.75³", h1.Pos)
+	}
+}
+
+func TestMinParticlesFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	parts := clump(rng, [3]float64{0.5, 0.5, 0.5}, 10, 0.001, 0)
+	cat, err := FindHalos(parts, 1, 100, Params{LinkingLength: 0.2, MinParticles: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Halos) != 0 {
+		t.Errorf("10-particle group passed a MinParticles=20 filter")
+	}
+	cat, err = FindHalos(parts, 1, 100, Params{LinkingLength: 0.2, MinParticles: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Halos) != 1 {
+		t.Errorf("expected 1 halo with MinParticles=5, got %d", len(cat.Halos))
+	}
+}
+
+func TestPeriodicHalo(t *testing.T) {
+	// A clump straddling the box corner must come out as one halo with its
+	// centre near the corner, not averaged to the box middle.
+	rng := rand.New(rand.NewSource(13))
+	parts := clump(rng, [3]float64{0.001, 0.001, 0.001}, 150, 0.004, 0)
+	cat, err := FindHalos(parts, 1, 100, Params{LinkingLength: 0.3, MinParticles: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Halos) != 1 {
+		t.Fatalf("corner clump found as %d halos, want 1", len(cat.Halos))
+	}
+	h := cat.Halos[0]
+	d2 := particles.Dist2(h.Pos, [3]float64{0.001, 0.001, 0.001})
+	if d2 > 0.01*0.01 {
+		t.Errorf("corner halo centre %v, want near the origin corner", h.Pos)
+	}
+}
+
+func TestHaloProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	parts := clump(rng, [3]float64{0.4, 0.6, 0.5}, 300, 0.005, 0)
+	cat, err := FindHalos(parts, 0.5, 100, Params{LinkingLength: 0.3, MinParticles: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Halos) != 1 {
+		t.Fatalf("%d halos, want 1", len(cat.Halos))
+	}
+	h := cat.Halos[0]
+	if h.Mass != float64(h.NPart) {
+		t.Errorf("unit-mass halo mass %g != npart %d", h.Mass, h.NPart)
+	}
+	if h.R <= 0 || h.R > 0.05 {
+		t.Errorf("halo radius %g implausible for sigma=0.005", h.R)
+	}
+	if len(h.IDs) != h.NPart {
+		t.Errorf("%d IDs for %d members", len(h.IDs), h.NPart)
+	}
+	for i := 1; i < len(h.IDs); i++ {
+		if h.IDs[i] <= h.IDs[i-1] {
+			t.Fatal("member IDs must be sorted and unique")
+		}
+	}
+	if cat.A != 0.5 || cat.Box != 100 {
+		t.Errorf("catalog metadata %+v", cat)
+	}
+}
+
+func TestMembershipInvariants(t *testing.T) {
+	// Every particle belongs to at most one halo; halo sizes respect the
+	// minimum; total catalogued particles <= input particles.
+	rng := rand.New(rand.NewSource(31))
+	var parts particles.Set
+	for i := 0; i < 1000; i++ {
+		parts = append(parts, particles.Particle{
+			Pos:  [3]float64{rng.Float64(), rng.Float64(), rng.Float64()},
+			Mass: 1, ID: int64(i),
+		})
+	}
+	parts = append(parts, clump(rng, [3]float64{0.3, 0.3, 0.3}, 80, 0.002, 5000)...)
+	cat, err := FindHalos(parts, 1, 100, Params{LinkingLength: 0.2, MinParticles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	total := 0
+	for _, h := range cat.Halos {
+		if h.NPart < 10 {
+			t.Errorf("halo %d smaller than MinParticles", h.ID)
+		}
+		total += h.NPart
+		for _, id := range h.IDs {
+			if seen[id] {
+				t.Fatalf("particle %d in two halos", id)
+			}
+			seen[id] = true
+		}
+	}
+	if total > len(parts) {
+		t.Errorf("catalogued %d members from %d particles", total, len(parts))
+	}
+}
+
+func TestLinkingLengthMonotonicity(t *testing.T) {
+	// A larger linking length can only merge groups, never create more
+	// top-level halos out of the same particle set.
+	rng := rand.New(rand.NewSource(41))
+	var parts particles.Set
+	for i := 0; i < 3000; i++ {
+		parts = append(parts, particles.Particle{
+			Pos:  [3]float64{rng.Float64(), rng.Float64(), rng.Float64()},
+			Mass: 1, ID: int64(i),
+		})
+	}
+	catSmall, err := FindHalos(parts, 1, 100, Params{LinkingLength: 0.15, MinParticles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catBig, err := FindHalos(parts, 1, 100, Params{LinkingLength: 0.4, MinParticles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countMembers := func(c *Catalog) int {
+		n := 0
+		for _, h := range c.Halos {
+			n += h.NPart
+		}
+		return n
+	}
+	if countMembers(catBig) < countMembers(catSmall) {
+		t.Error("larger linking length should link at least as many particles")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	parts := clump(rng, [3]float64{0.5, 0.5, 0.5}, 100, 0.01, 0)
+	a, err := FindHalos(parts, 1, 100, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindHalos(parts, 1, 100, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Halos) != len(b.Halos) {
+		t.Fatal("halo count differs between runs")
+	}
+	for i := range a.Halos {
+		if a.Halos[i].NPart != b.Halos[i].NPart ||
+			math.Abs(a.Halos[i].Mass-b.Halos[i].Mass) > 0 {
+			t.Fatal("catalog not deterministic")
+		}
+	}
+}

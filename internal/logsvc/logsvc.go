@@ -1,0 +1,172 @@
+// Package logsvc is the monitoring component of the deployment — the role
+// DIET's LogService/VizDIET play in the paper's §6.1 setup, where the MA
+// node also hosts "the monitoring tools". Components publish trace events
+// (start-up, registrations, solve begin/end, evictions); the bus keeps a
+// bounded history, fans events out to live subscribers, and aggregates
+// counts — enough to drive a Gantt view or the experiment bookkeeping.
+package logsvc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// ObjectName is the rpc object under which a bus is exposed.
+const ObjectName = "logservice"
+
+// Event is one trace record.
+type Event struct {
+	Seq       int64
+	TimeNanos int64
+	Component string // emitting component, e.g. "SeD:Nancy1"
+	Kind      string // e.g. "start", "solve_begin", "solve_end", "evict"
+	Detail    string
+}
+
+// Bus is the event collector. The zero value is not usable; construct with
+// New.
+type Bus struct {
+	mu      sync.Mutex
+	seq     int64
+	history []Event
+	max     int
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// New returns a bus keeping at most maxHistory events (older ones drop).
+func New(maxHistory int) *Bus {
+	if maxHistory < 1 {
+		maxHistory = 1
+	}
+	return &Bus{max: maxHistory, subs: make(map[int]chan Event)}
+}
+
+// Publish records an event and fans it out to subscribers. Slow subscribers
+// lose events rather than block the platform (monitoring must never stall
+// the middleware).
+func (b *Bus) Publish(component, kind, detail string) {
+	b.mu.Lock()
+	b.seq++
+	ev := Event{
+		Seq: b.seq, TimeNanos: time.Now().UnixNano(),
+		Component: component, Kind: kind, Detail: detail,
+	}
+	b.history = append(b.history, ev)
+	if len(b.history) > b.max {
+		b.history = b.history[len(b.history)-b.max:]
+	}
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // drop for laggards
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Subscribe registers a live listener with the given channel buffer and
+// returns the channel plus a cancel function.
+func (b *Bus) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 16
+	}
+	ch := make(chan Event, buffer)
+	b.mu.Lock()
+	id := b.nextSub
+	b.nextSub++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// History returns a copy of the retained events in order.
+func (b *Bus) History() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, len(b.history))
+	copy(out, b.history)
+	return out
+}
+
+// CountsByKind aggregates retained events per kind.
+func (b *Bus) CountsByKind() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int)
+	for _, ev := range b.history {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// Components lists the distinct components seen, sorted.
+func (b *Bus) Components() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set := make(map[string]struct{})
+	for _, ev := range b.history {
+		set[ev.Component] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler exposes the bus over rpc so remote components can publish and
+// tools can query.
+func (b *Bus) Handler() rpc.Handler {
+	return rpc.HandlerFunc(map[string]func([]byte) ([]byte, error){
+		"Publish": func(body []byte) ([]byte, error) {
+			var ev Event
+			if err := rpc.Decode(body, &ev); err != nil {
+				return nil, err
+			}
+			if ev.Component == "" || ev.Kind == "" {
+				return nil, fmt.Errorf("logsvc: event needs component and kind")
+			}
+			b.Publish(ev.Component, ev.Kind, ev.Detail)
+			return rpc.Encode(true)
+		},
+		"History": func([]byte) ([]byte, error) {
+			return rpc.Encode(b.History())
+		},
+		"Counts": func([]byte) ([]byte, error) {
+			return rpc.Encode(b.CountsByKind())
+		},
+	})
+}
+
+// Remote is a client-side handle publishing to a remote bus.
+type Remote struct {
+	Addr string
+}
+
+// Publish sends one event to the remote bus; errors are swallowed because
+// monitoring must never fail the caller.
+func (r *Remote) Publish(component, kind, detail string) {
+	var ok bool
+	_ = rpc.Call(r.Addr, ObjectName, "Publish", Event{Component: component, Kind: kind, Detail: detail}, &ok)
+}
+
+// History fetches the remote bus history.
+func (r *Remote) History() ([]Event, error) {
+	var out []Event
+	err := rpc.Call(r.Addr, ObjectName, "History", struct{}{}, &out)
+	return out, err
+}

@@ -1,0 +1,106 @@
+package logsvc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+func TestPublishHistoryCounts(t *testing.T) {
+	b := New(100)
+	b.Publish("MA:MA1", "start", "local:agent-MA1")
+	b.Publish("SeD:Nancy1", "start", "addr")
+	b.Publish("SeD:Nancy1", "solve_begin", "ramsesZoom2")
+	b.Publish("SeD:Nancy1", "solve_end", "ramsesZoom2")
+
+	h := b.History()
+	if len(h) != 4 {
+		t.Fatalf("history %d events, want 4", len(h))
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Seq <= h[i-1].Seq {
+			t.Error("sequence numbers must increase")
+		}
+	}
+	counts := b.CountsByKind()
+	if counts["start"] != 2 || counts["solve_begin"] != 1 {
+		t.Errorf("counts %v", counts)
+	}
+	comps := b.Components()
+	if len(comps) != 2 || comps[0] != "MA:MA1" {
+		t.Errorf("components %v", comps)
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	b := New(5)
+	for i := 0; i < 20; i++ {
+		b.Publish("c", "k", fmt.Sprint(i))
+	}
+	h := b.History()
+	if len(h) != 5 {
+		t.Fatalf("history %d, want 5", len(h))
+	}
+	if h[0].Detail != "15" || h[4].Detail != "19" {
+		t.Errorf("kept wrong window: %v … %v", h[0].Detail, h[4].Detail)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	b := New(10)
+	ch, cancel := b.Subscribe(4)
+	b.Publish("c", "k1", "")
+	b.Publish("c", "k2", "")
+	if ev := <-ch; ev.Kind != "k1" {
+		t.Errorf("first event %v", ev)
+	}
+	if ev := <-ch; ev.Kind != "k2" {
+		t.Errorf("second event %v", ev)
+	}
+	cancel()
+	if _, open := <-ch; open {
+		t.Error("cancel should close the channel")
+	}
+	cancel() // idempotent
+	b.Publish("c", "k3", "")
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	b := New(10)
+	_, cancel := b.Subscribe(1)
+	defer cancel()
+	// Fill the buffer and keep publishing; Publish must never block.
+	for i := 0; i < 50; i++ {
+		b.Publish("c", "k", "")
+	}
+	if len(b.History()) != 10 {
+		t.Error("history should hold the cap")
+	}
+}
+
+func TestRemotePublish(t *testing.T) {
+	defer rpc.ResetLocal()
+	b := New(50)
+	srv := rpc.NewServer()
+	srv.Register(ObjectName, b.Handler())
+	addr, err := rpc.ServeLocal("logsvc-test", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Remote{Addr: addr}
+	r.Publish("SeD:X", "start", "detail")
+	r.Publish("SeD:X", "solve_begin", "svc")
+	h, err := r.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 2 || h[0].Component != "SeD:X" {
+		t.Errorf("remote history %v", h)
+	}
+	// Invalid events are rejected server-side but swallowed client-side.
+	r.Publish("", "", "")
+	if len(b.History()) != 2 {
+		t.Error("invalid event must not be recorded")
+	}
+}

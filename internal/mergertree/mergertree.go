@@ -1,0 +1,182 @@
+// Package mergertree implements TreeMaker, the second GALICS stage: given
+// the halo catalogs of successive snapshots it links each halo to its
+// progenitors by shared member particles and "follows the position, the
+// mass, the velocity of the different particles present in the halos through
+// cosmic time" (paper §4), producing the merger forest GalaxyMaker consumes.
+package mergertree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/halo"
+)
+
+// Node is one halo at one snapshot, linked into its merger tree.
+type Node struct {
+	Snap        int     // snapshot index (chronological)
+	HaloID      int     // ID within that snapshot's catalog
+	Mass        float64 // M☉/h
+	NPart       int
+	Pos         [3]float64
+	Vel         [3]float64
+	Progenitors []*Node // ordered by shared-particle count descending
+	Descendant  *Node   // nil for z=0 (final snapshot) halos
+	Shared      int     // particles shared with the descendant
+}
+
+// Forest is the full set of merger trees across a snapshot sequence.
+type Forest struct {
+	Snaps []float64 // expansion factor per snapshot
+	Nodes [][]*Node // Nodes[s][h] is halo h at snapshot s
+}
+
+// Params configures progenitor matching.
+type Params struct {
+	// MinSharedFraction is the minimum fraction of a progenitor's particles
+	// that must end up in the descendant for the link to be kept.
+	MinSharedFraction float64
+}
+
+// DefaultParams keeps any link carrying at least half the progenitor.
+func DefaultParams() Params { return Params{MinSharedFraction: 0.5} }
+
+// Build links the catalogs (in chronological order) into a merger forest.
+func Build(cats []*halo.Catalog, params Params) (*Forest, error) {
+	if len(cats) == 0 {
+		return nil, fmt.Errorf("mergertree: need at least one catalog")
+	}
+	if params.MinSharedFraction < 0 || params.MinSharedFraction > 1 {
+		return nil, fmt.Errorf("mergertree: MinSharedFraction must be in [0,1], got %g", params.MinSharedFraction)
+	}
+	f := &Forest{}
+	for s, cat := range cats {
+		f.Snaps = append(f.Snaps, cat.A)
+		nodes := make([]*Node, len(cat.Halos))
+		for h := range cat.Halos {
+			hh := &cat.Halos[h]
+			nodes[h] = &Node{
+				Snap: s, HaloID: hh.ID, Mass: hh.Mass, NPart: hh.NPart,
+				Pos: hh.Pos, Vel: hh.Vel,
+			}
+		}
+		f.Nodes = append(f.Nodes, nodes)
+		if s == 0 {
+			continue
+		}
+		if err := link(cats[s-1], cat, f.Nodes[s-1], nodes, params); err != nil {
+			return nil, fmt.Errorf("mergertree: linking snapshots %d→%d: %w", s-1, s, err)
+		}
+	}
+	return f, nil
+}
+
+// link matches halos of the earlier catalog to descendants in the later one
+// by maximum shared particle count.
+func link(prev, next *halo.Catalog, prevNodes, nextNodes []*Node, params Params) error {
+	// Map particle ID -> halo index in next.
+	owner := make(map[int64]int)
+	for h := range next.Halos {
+		for _, id := range next.Halos[h].IDs {
+			owner[id] = h
+		}
+	}
+	for h := range prev.Halos {
+		ph := &prev.Halos[h]
+		counts := make(map[int]int)
+		for _, id := range ph.IDs {
+			if d, ok := owner[id]; ok {
+				counts[d]++
+			}
+		}
+		best, bestCount := -1, 0
+		for d, c := range counts {
+			if c > bestCount || (c == bestCount && (best == -1 || d < best)) {
+				best, bestCount = d, c
+			}
+		}
+		if best < 0 {
+			continue // halo dissolved
+		}
+		if float64(bestCount) < params.MinSharedFraction*float64(ph.NPart) {
+			continue // too little continuity to call it the same object
+		}
+		prevNodes[h].Descendant = nextNodes[best]
+		prevNodes[h].Shared = bestCount
+		nextNodes[best].Progenitors = append(nextNodes[best].Progenitors, prevNodes[h])
+	}
+	// Order progenitor lists by shared count (main progenitor first).
+	for _, n := range nextNodes {
+		sort.Slice(n.Progenitors, func(i, j int) bool {
+			if n.Progenitors[i].Shared != n.Progenitors[j].Shared {
+				return n.Progenitors[i].Shared > n.Progenitors[j].Shared
+			}
+			return n.Progenitors[i].HaloID < n.Progenitors[j].HaloID
+		})
+	}
+	return nil
+}
+
+// Roots returns the nodes of the final snapshot — the tips of the trees.
+func (f *Forest) Roots() []*Node {
+	if len(f.Nodes) == 0 {
+		return nil
+	}
+	return f.Nodes[len(f.Nodes)-1]
+}
+
+// MainBranch walks the main-progenitor line back in time from n, returning
+// the chain ordered from earliest progenitor to n itself.
+func MainBranch(n *Node) []*Node {
+	var rev []*Node
+	for cur := n; cur != nil; {
+		rev = append(rev, cur)
+		if len(cur.Progenitors) == 0 {
+			break
+		}
+		cur = cur.Progenitors[0]
+	}
+	out := make([]*Node, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// Stats summarises a forest.
+type Stats struct {
+	Snapshots  int
+	Halos      int // total nodes
+	Links      int // progenitor→descendant links
+	Mergers    int // nodes with more than one progenitor
+	MaxBranch  int // longest main branch
+	Dissolved  int // halos with no descendant (except final snapshot)
+	FinalHalos int
+}
+
+// Stats computes summary statistics for the forest.
+func (f *Forest) Stats() Stats {
+	var s Stats
+	s.Snapshots = len(f.Nodes)
+	for si, nodes := range f.Nodes {
+		s.Halos += len(nodes)
+		for _, n := range nodes {
+			if len(n.Progenitors) > 1 {
+				s.Mergers++
+			}
+			s.Links += len(n.Progenitors)
+			if n.Descendant == nil && si != len(f.Nodes)-1 {
+				s.Dissolved++
+			}
+		}
+	}
+	if len(f.Nodes) > 0 {
+		s.FinalHalos = len(f.Nodes[len(f.Nodes)-1])
+		for _, n := range f.Roots() {
+			if b := len(MainBranch(n)); b > s.MaxBranch {
+				s.MaxBranch = b
+			}
+		}
+	}
+	return s
+}

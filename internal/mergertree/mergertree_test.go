@@ -1,0 +1,200 @@
+package mergertree
+
+import (
+	"testing"
+
+	"repro/internal/halo"
+)
+
+// mkCatalog builds a catalog from (id, particle-IDs) pairs.
+func mkCatalog(a float64, groups ...[]int64) *halo.Catalog {
+	cat := &halo.Catalog{A: a, Box: 100}
+	for i, ids := range groups {
+		cat.Halos = append(cat.Halos, halo.Halo{
+			ID: i, NPart: len(ids), Mass: float64(len(ids)), IDs: ids,
+		})
+	}
+	return cat
+}
+
+func seq(lo, hi int64) []int64 {
+	var out []int64
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, DefaultParams()); err == nil {
+		t.Error("expected error for no catalogs")
+	}
+	if _, err := Build([]*halo.Catalog{mkCatalog(1)}, Params{MinSharedFraction: 2}); err == nil {
+		t.Error("expected error for fraction > 1")
+	}
+}
+
+func TestSimpleContinuity(t *testing.T) {
+	// One halo keeps all its particles across two snapshots.
+	cats := []*halo.Catalog{
+		mkCatalog(0.5, seq(0, 100)),
+		mkCatalog(1.0, seq(0, 100)),
+	}
+	f, err := Build(cats, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Nodes) != 2 {
+		t.Fatalf("%d snapshots", len(f.Nodes))
+	}
+	early, late := f.Nodes[0][0], f.Nodes[1][0]
+	if early.Descendant != late {
+		t.Error("descendant link missing")
+	}
+	if len(late.Progenitors) != 1 || late.Progenitors[0] != early {
+		t.Error("progenitor link missing")
+	}
+	if early.Shared != 100 {
+		t.Errorf("shared = %d, want 100", early.Shared)
+	}
+}
+
+func TestMergerDetected(t *testing.T) {
+	// Two halos at t0 merge into one at t1.
+	cats := []*halo.Catalog{
+		mkCatalog(0.5, seq(0, 60), seq(100, 140)),
+		mkCatalog(1.0, append(seq(0, 60), seq(100, 140)...)),
+	}
+	f, err := Build(cats, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := f.Nodes[1][0]
+	if len(final.Progenitors) != 2 {
+		t.Fatalf("%d progenitors, want 2", len(final.Progenitors))
+	}
+	// Main progenitor is the larger (60 shared > 40 shared).
+	if final.Progenitors[0].Shared != 60 || final.Progenitors[1].Shared != 40 {
+		t.Errorf("progenitors ordered %d,%d; want 60,40",
+			final.Progenitors[0].Shared, final.Progenitors[1].Shared)
+	}
+	st := f.Stats()
+	if st.Mergers != 1 {
+		t.Errorf("Mergers = %d, want 1", st.Mergers)
+	}
+}
+
+func TestFragmentationPicksMaxOverlap(t *testing.T) {
+	// A halo splits: 70 particles to halo A, 30 to halo B. The progenitor
+	// follows the majority.
+	cats := []*halo.Catalog{
+		mkCatalog(0.5, seq(0, 100)),
+		mkCatalog(1.0, seq(0, 70), seq(70, 100)),
+	}
+	f, err := Build(cats, Params{MinSharedFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := f.Nodes[0][0]
+	if early.Descendant != f.Nodes[1][0] {
+		t.Error("descendant should be the 70-particle fragment")
+	}
+	if early.Shared != 70 {
+		t.Errorf("shared = %d, want 70", early.Shared)
+	}
+}
+
+func TestMinSharedFractionCutsWeakLinks(t *testing.T) {
+	// Only 10 of 100 particles carry over: below the 0.5 threshold the halo
+	// counts as dissolved.
+	cats := []*halo.Catalog{
+		mkCatalog(0.5, seq(0, 100)),
+		mkCatalog(1.0, append(seq(0, 10), seq(500, 590)...)),
+	}
+	f, err := Build(cats, Params{MinSharedFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes[0][0].Descendant != nil {
+		t.Error("weak link should be cut")
+	}
+	if st := f.Stats(); st.Dissolved != 1 {
+		t.Errorf("Dissolved = %d, want 1", st.Dissolved)
+	}
+	// With threshold 0, the link survives.
+	f2, err := Build(cats, Params{MinSharedFraction: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Nodes[0][0].Descendant == nil {
+		t.Error("link should survive with zero threshold")
+	}
+}
+
+func TestMainBranch(t *testing.T) {
+	// Three snapshots: halo grows, absorbs a smaller one at the last step.
+	cats := []*halo.Catalog{
+		mkCatalog(0.3, seq(0, 50), seq(100, 120)),
+		mkCatalog(0.6, seq(0, 50), seq(100, 120)),
+		mkCatalog(1.0, append(seq(0, 50), seq(100, 120)...)),
+	}
+	f, err := Build(cats, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := f.Nodes[2][0]
+	branch := MainBranch(root)
+	if len(branch) != 3 {
+		t.Fatalf("main branch length %d, want 3", len(branch))
+	}
+	if branch[len(branch)-1] != root {
+		t.Error("main branch must end at the root")
+	}
+	for i := 1; i < len(branch); i++ {
+		if branch[i-1].Snap >= branch[i].Snap {
+			t.Error("main branch must be chronological")
+		}
+	}
+	st := f.Stats()
+	if st.MaxBranch != 3 {
+		t.Errorf("MaxBranch = %d, want 3", st.MaxBranch)
+	}
+	if st.FinalHalos != 1 {
+		t.Errorf("FinalHalos = %d, want 1", st.FinalHalos)
+	}
+}
+
+func TestSingleSnapshotForest(t *testing.T) {
+	f, err := Build([]*halo.Catalog{mkCatalog(1.0, seq(0, 30))}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Roots()) != 1 {
+		t.Errorf("%d roots", len(f.Roots()))
+	}
+	st := f.Stats()
+	if st.Links != 0 || st.Mergers != 0 {
+		t.Errorf("unexpected links in single snapshot: %+v", st)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	cats := []*halo.Catalog{
+		mkCatalog(0.5, seq(0, 40), seq(50, 90), seq(100, 140)),
+		mkCatalog(1.0, append(seq(0, 40), seq(50, 90)...), seq(100, 140)),
+	}
+	f, err := Build(cats, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Halos != 5 {
+		t.Errorf("Halos = %d, want 5", st.Halos)
+	}
+	if st.Links != 3 {
+		t.Errorf("Links = %d, want 3", st.Links)
+	}
+	if st.Mergers != 1 {
+		t.Errorf("Mergers = %d, want 1", st.Mergers)
+	}
+}

@@ -1,0 +1,290 @@
+package mpich
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSendRecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 5, "hello")
+		}
+		v, from, err := c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if v.(string) != "hello" || from != 0 {
+			return fmt.Errorf("got %v from %d", v, from)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, "first")
+			c.Send(1, 2, "second")
+			return nil
+		}
+		// Receive out of order by tag: the tag-2 message must be delivered
+		// even though tag-1 arrived first, and tag-1 must still be pending.
+		v2, _, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		v1, _, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if v2.(string) != "second" || v1.(string) != "first" {
+			return fmt.Errorf("selective recv broken: %v, %v", v1, v2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return c.Send(0, c.Rank(), c.Rank()*10)
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			v, from, err := c.Recv(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if v.(int) != from*10 {
+				return fmt.Errorf("payload %v from %d", v, from)
+			}
+			seen[from] = true
+		}
+		if !seen[1] || !seen[2] {
+			return fmt.Errorf("missing senders: %v", seen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Error("expected error for world size 0")
+	}
+	w, _ := NewWorld(2)
+	if _, err := w.Comm(5); err == nil {
+		t.Error("expected error for out-of-range rank")
+	}
+	c, _ := w.Comm(0)
+	if err := c.Send(9, 0, nil); err == nil {
+		t.Error("expected error for invalid destination")
+	}
+	if err := c.Send(1, tagInternal+1, nil); err == nil {
+		t.Error("expected error for reserved tag")
+	}
+	if _, _, err := c.Recv(9, 0); err == nil {
+		t.Error("expected error for invalid source")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	var before, after atomic.Int32
+	err := Run(4, func(c *Comm) error {
+		before.Add(1)
+		c.Barrier()
+		// After the barrier, every rank must have incremented.
+		if before.Load() != 4 {
+			return fmt.Errorf("rank %d passed barrier with before=%d", c.Rank(), before.Load())
+		}
+		after.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != 4 {
+		t.Fatalf("after = %d, want 4", after.Load())
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		var v any
+		if c.Rank() == 2 {
+			v = c.Bcast(2, "payload")
+		} else {
+			v = c.Bcast(2, nil)
+		}
+		if v.(string) != "payload" {
+			return fmt.Errorf("rank %d got %v", c.Rank(), v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastFloat64sCopies(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		data := []float64{1, 2, 3}
+		got := c.BcastFloat64s(0, data)
+		if c.Rank() == 1 {
+			got[0] = 99 // must not corrupt rank 0's slice
+		}
+		c.Barrier()
+		if c.Rank() == 0 && data[0] != 1 {
+			return errors.New("bcast receivers share the root's slice")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		local := []float64{float64(c.Rank()), 1}
+		got := c.AllReduce(OpSum, local)
+		if got[0] != 10 || got[1] != 5 { // 0+1+2+3+4, 5×1
+			return fmt.Errorf("rank %d: AllReduce = %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceMaxMin(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		v := float64(c.Rank())
+		if mx := c.AllReduceScalar(OpMax, v); mx != 3 {
+			return fmt.Errorf("max = %g", mx)
+		}
+		if mn := c.AllReduceScalar(OpMin, v); mn != 0 {
+			return fmt.Errorf("min = %g", mn)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		out := c.Gather(1, c.Rank()*2)
+		if c.Rank() == 1 {
+			for r := 0; r < 3; r++ {
+				if out[r].(int) != r*2 {
+					return fmt.Errorf("gathered[%d] = %v", r, out[r])
+				}
+			}
+		} else if out != nil {
+			return errors.New("non-root should receive nil")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		send := make([]any, 3)
+		for i := range send {
+			send[i] = fmt.Sprintf("%d->%d", c.Rank(), i)
+		}
+		got, err := c.AllToAll(send)
+		if err != nil {
+			return err
+		}
+		for from := 0; from < 3; from++ {
+			want := fmt.Sprintf("%d->%d", from, c.Rank())
+			if got[from].(string) != want {
+				return fmt.Errorf("rank %d got %v from %d, want %s", c.Rank(), got[from], from, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllWrongLen(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		_, err := c.AllToAll(make([]any, 1))
+		if err == nil {
+			return errors.New("expected error for wrong send length")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	sentinel := errors.New("rank 2 failed")
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+func TestAllReduceDeterministic(t *testing.T) {
+	// Rank-order folding must make repeated runs bit-identical even though
+	// arrival order varies.
+	run := func() []float64 {
+		var out []float64
+		Run(6, func(c *Comm) error {
+			local := []float64{1e-16 * float64(c.Rank()+1), 1e16 * float64(c.Rank()+1)}
+			got := c.AllReduce(OpSum, local)
+			if c.Rank() == 0 {
+				out = got
+			}
+			return nil
+		})
+		return out
+	}
+	a := run()
+	for i := 0; i < 5; i++ {
+		b := run()
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("AllReduce not deterministic: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package naming is the omniORB-style naming service of the deployment: a
+// small registry mapping component names (master agent, local agents, SeDs)
+// to transport addresses. A DIET client "can be connected to a MA by a
+// specific name server" (paper §3.1) — this is that name server.
+package naming
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rpc"
+)
+
+// ObjectName is the rpc object under which the service is exposed.
+const ObjectName = "naming"
+
+// Entry is one name → address binding.
+type Entry struct {
+	Name string
+	Addr string
+	Kind string // "MA", "LA", "SeD", or free-form
+}
+
+// Service is the registry implementation.
+type Service struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// NewService returns an empty naming service.
+func NewService() *Service {
+	return &Service{entries: make(map[string]Entry)}
+}
+
+// Register binds a name; rebinding an existing name is an error so that two
+// components cannot silently claim the same identity.
+func (s *Service) Register(e Entry) error {
+	if e.Name == "" || e.Addr == "" {
+		return fmt.Errorf("naming: name and addr are required, got %+v", e)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, dup := s.entries[e.Name]; dup && old.Addr != e.Addr {
+		return fmt.Errorf("naming: %q already bound to %s", e.Name, old.Addr)
+	}
+	s.entries[e.Name] = e
+	return nil
+}
+
+// Unregister removes a binding (idempotent).
+func (s *Service) Unregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, name)
+}
+
+// Resolve returns the binding for name.
+func (s *Service) Resolve(name string) (Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("naming: %q not bound", name)
+	}
+	return e, nil
+}
+
+// List returns all bindings whose name starts with prefix, sorted by name.
+func (s *Service) List(prefix string) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Entry
+	for _, e := range s.entries {
+		if strings.HasPrefix(e.Name, prefix) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Handler exposes the service over rpc.
+func (s *Service) Handler() rpc.Handler {
+	return rpc.HandlerFunc(map[string]func([]byte) ([]byte, error){
+		"Register": func(body []byte) ([]byte, error) {
+			var e Entry
+			if err := rpc.Decode(body, &e); err != nil {
+				return nil, err
+			}
+			if err := s.Register(e); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(true)
+		},
+		"Unregister": func(body []byte) ([]byte, error) {
+			var name string
+			if err := rpc.Decode(body, &name); err != nil {
+				return nil, err
+			}
+			s.Unregister(name)
+			return rpc.Encode(true)
+		},
+		"Resolve": func(body []byte) ([]byte, error) {
+			var name string
+			if err := rpc.Decode(body, &name); err != nil {
+				return nil, err
+			}
+			e, err := s.Resolve(name)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(e)
+		},
+		"List": func(body []byte) ([]byte, error) {
+			var prefix string
+			if err := rpc.Decode(body, &prefix); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(s.List(prefix))
+		},
+	})
+}
+
+// Client is a typed remote handle on a naming service.
+type Client struct {
+	Addr string
+}
+
+// Register binds a name remotely.
+func (c *Client) Register(e Entry) error {
+	var ok bool
+	return rpc.Call(c.Addr, ObjectName, "Register", e, &ok)
+}
+
+// Unregister removes a binding remotely.
+func (c *Client) Unregister(name string) error {
+	var ok bool
+	return rpc.Call(c.Addr, ObjectName, "Unregister", name, &ok)
+}
+
+// Resolve looks a name up remotely.
+func (c *Client) Resolve(name string) (Entry, error) {
+	var e Entry
+	err := rpc.Call(c.Addr, ObjectName, "Resolve", name, &e)
+	return e, err
+}
+
+// List enumerates bindings remotely.
+func (c *Client) List(prefix string) ([]Entry, error) {
+	var out []Entry
+	err := rpc.Call(c.Addr, ObjectName, "List", prefix, &out)
+	return out, err
+}

@@ -1,0 +1,402 @@
+// Package nbody implements the gravitational N-body solver at the heart of
+// the RAMSES application: a particle-mesh (PM) scheme with cloud-in-cell
+// mass assignment, an FFT Poisson solve on the periodic mesh, and a
+// kick-drift-kick leapfrog integrator in comoving variables with the
+// expansion factor as time variable.
+//
+// Code units follow the standard PM convention (Klypin & Holtzman 1997):
+// positions x live in the unit box, the time variable is the expansion
+// factor a, momenta are p = a²·dx/dt̃ with t̃ = t·H0, and the comoving
+// potential obeys ∇²φ = (3/2)(ΩM/a)·δ. Peculiar velocities in km/s convert
+// as v = 100·L·p/a for a box of L Mpc/h (the h cancels).
+package nbody
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cosmo"
+	"repro/internal/fft"
+	"repro/internal/particles"
+)
+
+// Params configures a PM solver.
+type Params struct {
+	Ng    int           // mesh points per axis (power of two)
+	Box   float64       // comoving box size, Mpc/h
+	Cosmo *cosmo.Params // background cosmology
+}
+
+// Solver is a periodic particle-mesh gravity solver. It is not safe for
+// concurrent use; parallel runs give each rank its own Solver.
+type Solver struct {
+	p Params
+
+	phi  *fft.Grid3   // potential work grid
+	acc  [3][]float64 // cell-centred acceleration components (−∇φ)
+	accA float64      // expansion factor the cached acc grids were built at
+}
+
+// New validates params and returns a ready Solver.
+func New(p Params) (*Solver, error) {
+	if !fft.IsPow2(p.Ng) {
+		return nil, fmt.Errorf("nbody: mesh size %d is not a power of two", p.Ng)
+	}
+	if p.Box <= 0 {
+		return nil, fmt.Errorf("nbody: box size must be positive, got %g", p.Box)
+	}
+	if p.Cosmo == nil {
+		return nil, fmt.Errorf("nbody: cosmology must be set")
+	}
+	if err := p.Cosmo.Validate(); err != nil {
+		return nil, err
+	}
+	phi, err := fft.NewGrid3(p.Ng)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{p: p, phi: phi, accA: -1}
+	n3 := p.Ng * p.Ng * p.Ng
+	for d := 0; d < 3; d++ {
+		s.acc[d] = make([]float64, n3)
+	}
+	return s, nil
+}
+
+// Params returns the solver configuration.
+func (s *Solver) Params() Params { return s.p }
+
+// MomentumFromVel converts a peculiar velocity in km/s to a code momentum at
+// expansion factor a in a box of boxSize Mpc/h.
+func MomentumFromVel(v, a, boxSize float64) float64 { return a * v / (100 * boxSize) }
+
+// VelFromMomentum converts a code momentum back to a peculiar velocity in
+// km/s.
+func VelFromMomentum(p, a, boxSize float64) float64 { return 100 * boxSize * p / a }
+
+// Density deposits the particle masses onto the mesh with cloud-in-cell
+// weights and returns the overdensity field δ = ρ/ρ̄ − 1 as a flat array in
+// (iz*Ng+iy)*Ng+ix order. An empty set yields δ = −1 everywhere.
+func (s *Solver) Density(parts particles.Set) []float64 {
+	n := s.p.Ng
+	rho := make([]float64, n*n*n)
+	var totalMass float64
+	for i := range parts {
+		totalMass += parts[i].Mass
+		depositCIC(rho, n, parts[i].Pos, parts[i].Mass)
+	}
+	mean := totalMass / float64(n*n*n)
+	if mean == 0 {
+		for i := range rho {
+			rho[i] = -1
+		}
+		return rho
+	}
+	for i := range rho {
+		rho[i] = rho[i]/mean - 1
+	}
+	return rho
+}
+
+// depositCIC adds mass m at position pos (unit box) to grid with CIC weights.
+func depositCIC(grid []float64, n int, pos [3]float64, m float64) {
+	var i0 [3]int
+	var f [3]float64
+	for d := 0; d < 3; d++ {
+		u := particles.Wrap(pos[d])*float64(n) - 0.5
+		base := math.Floor(u)
+		f[d] = u - base
+		i0[d] = int(base)
+	}
+	mod := func(v int) int {
+		v %= n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	for dz := 0; dz < 2; dz++ {
+		wz := f[2]
+		if dz == 0 {
+			wz = 1 - f[2]
+		}
+		iz := mod(i0[2] + dz)
+		for dy := 0; dy < 2; dy++ {
+			wy := f[1]
+			if dy == 0 {
+				wy = 1 - f[1]
+			}
+			iy := mod(i0[1] + dy)
+			for dx := 0; dx < 2; dx++ {
+				wx := f[0]
+				if dx == 0 {
+					wx = 1 - f[0]
+				}
+				ix := mod(i0[0] + dx)
+				grid[(iz*n+iy)*n+ix] += m * wx * wy * wz
+			}
+		}
+	}
+}
+
+// interpCIC samples grid at pos with the same CIC kernel used for deposit,
+// which guarantees momentum-conserving force interpolation.
+func interpCIC(grid []float64, n int, pos [3]float64) float64 {
+	var i0 [3]int
+	var f [3]float64
+	for d := 0; d < 3; d++ {
+		u := particles.Wrap(pos[d])*float64(n) - 0.5
+		base := math.Floor(u)
+		f[d] = u - base
+		i0[d] = int(base)
+	}
+	mod := func(v int) int {
+		v %= n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	var sum float64
+	for dz := 0; dz < 2; dz++ {
+		wz := f[2]
+		if dz == 0 {
+			wz = 1 - f[2]
+		}
+		iz := mod(i0[2] + dz)
+		for dy := 0; dy < 2; dy++ {
+			wy := f[1]
+			if dy == 0 {
+				wy = 1 - f[1]
+			}
+			iy := mod(i0[1] + dy)
+			for dx := 0; dx < 2; dx++ {
+				wx := f[0]
+				if dx == 0 {
+					wx = 1 - f[0]
+				}
+				ix := mod(i0[0] + dx)
+				sum += grid[(iz*n+iy)*n+ix] * wx * wy * wz
+			}
+		}
+	}
+	return sum
+}
+
+// Potential solves ∇²φ = (3/2)(ΩM/a)·δ on the periodic mesh using the
+// discrete 7-point Green's function and leaves φ in the solver's work grid.
+func (s *Solver) Potential(delta []float64, a float64) error {
+	n := s.p.Ng
+	if len(delta) != n*n*n {
+		return fmt.Errorf("nbody: delta has %d cells, want %d", len(delta), n*n*n)
+	}
+	if a <= 0 {
+		return fmt.Errorf("nbody: expansion factor must be positive, got %g", a)
+	}
+	for i, v := range delta {
+		s.phi.Data[i] = complex(v, 0)
+	}
+	if err := fft.Forward3(s.phi); err != nil {
+		return err
+	}
+	coef := 1.5 * s.p.Cosmo.OmegaM / a
+	fn := float64(n)
+	for iz := 0; iz < n; iz++ {
+		sz := 2 * fn * math.Sin(math.Pi*float64(iz)/fn)
+		for iy := 0; iy < n; iy++ {
+			sy := 2 * fn * math.Sin(math.Pi*float64(iy)/fn)
+			for ix := 0; ix < n; ix++ {
+				sx := 2 * fn * math.Sin(math.Pi*float64(ix)/fn)
+				k2 := sx*sx + sy*sy + sz*sz
+				idx := (iz*n+iy)*n + ix
+				if k2 == 0 {
+					s.phi.Data[idx] = 0 // mean of φ is a free gauge
+					continue
+				}
+				s.phi.Data[idx] *= complex(-coef/k2, 0)
+			}
+		}
+	}
+	return fft.Inverse3(s.phi)
+}
+
+// buildAccel differentiates the potential with central differences to the
+// cell-centred acceleration −∇φ (box units) and caches the result for a.
+func (s *Solver) buildAccel(a float64) {
+	n := s.p.Ng
+	scale := float64(n) / 2 // central difference over 2Δx with Δx = 1/n
+	mod := func(v int) int {
+		v %= n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	at := func(ix, iy, iz int) float64 { return real(s.phi.Data[(iz*n+iy)*n+ix]) }
+	for iz := 0; iz < n; iz++ {
+		for iy := 0; iy < n; iy++ {
+			for ix := 0; ix < n; ix++ {
+				idx := (iz*n+iy)*n + ix
+				s.acc[0][idx] = -(at(mod(ix+1), iy, iz) - at(mod(ix-1), iy, iz)) * scale
+				s.acc[1][idx] = -(at(ix, mod(iy+1), iz) - at(ix, mod(iy-1), iz)) * scale
+				s.acc[2][idx] = -(at(ix, iy, mod(iz+1)) - at(ix, iy, mod(iz-1))) * scale
+			}
+		}
+	}
+	s.accA = a
+}
+
+// Solve computes the potential and acceleration grids for the given particle
+// distribution at expansion factor a. Exposed so the parallel driver can run
+// the field solve once on a combined density.
+func (s *Solver) Solve(delta []float64, a float64) error {
+	if err := s.Potential(delta, a); err != nil {
+		return err
+	}
+	s.buildAccel(a)
+	return nil
+}
+
+// AccelAt returns the interpolated acceleration −∇φ at pos, valid after a
+// Solve at the current epoch.
+func (s *Solver) AccelAt(pos [3]float64) [3]float64 {
+	return [3]float64{
+		interpCIC(s.acc[0], s.p.Ng, pos),
+		interpCIC(s.acc[1], s.p.Ng, pos),
+		interpCIC(s.acc[2], s.p.Ng, pos),
+	}
+}
+
+// fKick is the kick coefficient dp/da = −∇φ · fKick(a).
+func (s *Solver) fKick(a float64) float64 { return 1 / (a * s.p.Cosmo.E(a)) }
+
+// fDrift is the drift coefficient dx/da = p · fDrift(a).
+func (s *Solver) fDrift(a float64) float64 { return 1 / (a * a * a * s.p.Cosmo.E(a)) }
+
+// kickDrift applies the first half kick and the full drift to parts, leaving
+// velocities expressed at epoch a. Requires a field solve at a.
+func (s *Solver) kickDrift(parts particles.Set, a, da float64) {
+	box := s.p.Box
+	halfKick := 0.5 * da * s.fKick(a)
+	drift := da * s.fDrift(a+da/2)
+	for i := range parts {
+		p := &parts[i]
+		g := s.AccelAt(p.Pos)
+		for d := 0; d < 3; d++ {
+			mom := MomentumFromVel(p.Vel[d], a, box) + g[d]*halfKick
+			p.Vel[d] = VelFromMomentum(mom, a, box) // stash as velocity at epoch a
+			p.Pos[d] = particles.Wrap(p.Pos[d] + mom*drift)
+		}
+	}
+}
+
+// secondKick applies the closing half kick using the field solved at aNew and
+// re-expresses velocities at the new epoch.
+func (s *Solver) secondKick(parts particles.Set, a, aNew, da float64) {
+	box := s.p.Box
+	halfKick := 0.5 * da * s.fKick(aNew)
+	for i := range parts {
+		p := &parts[i]
+		g := s.AccelAt(p.Pos)
+		for d := 0; d < 3; d++ {
+			mom := MomentumFromVel(p.Vel[d], a, box) + g[d]*halfKick
+			p.Vel[d] = VelFromMomentum(mom, aNew, box)
+		}
+	}
+}
+
+// Step advances the particle set by one kick-drift-kick leapfrog step from
+// expansion factor a to a+da, mutating positions and velocities in place.
+// The field is solved once at a (reusing the cached solve when the previous
+// step ended here) and once at a+da.
+func (s *Solver) Step(parts particles.Set, a, da float64) error {
+	if da <= 0 {
+		return fmt.Errorf("nbody: step da must be positive, got %g", da)
+	}
+	if s.accA != a {
+		if err := s.Solve(s.Density(parts), a); err != nil {
+			return err
+		}
+	}
+	s.kickDrift(parts, a, da)
+	aNew := a + da
+	if err := s.Solve(s.Density(parts), aNew); err != nil {
+		return err
+	}
+	s.secondKick(parts, a, aNew, da)
+	return nil
+}
+
+// Run advances the particle set from a0 to a1 in nsteps equal steps in a,
+// invoking onStep (if non-nil) after each step with the step index and the
+// new expansion factor. It is the serial equivalent of the paper's RAMSES3d
+// run between two snapshots.
+func (s *Solver) Run(parts particles.Set, a0, a1 float64, nsteps int, onStep func(step int, a float64)) error {
+	if a1 <= a0 {
+		return fmt.Errorf("nbody: a1 %g must exceed a0 %g", a1, a0)
+	}
+	if nsteps <= 0 {
+		return fmt.Errorf("nbody: nsteps must be positive, got %d", nsteps)
+	}
+	da := (a1 - a0) / float64(nsteps)
+	a := a0
+	for step := 0; step < nsteps; step++ {
+		if err := s.Step(parts, a, da); err != nil {
+			return fmt.Errorf("nbody: step %d (a=%.4f): %w", step, a, err)
+		}
+		a += da
+		if onStep != nil {
+			onStep(step, a)
+		}
+	}
+	return nil
+}
+
+// RMSDelta returns the rms of an overdensity field; used as a cheap growth
+// diagnostic in tests and examples.
+func RMSDelta(delta []float64) float64 {
+	var sum float64
+	for _, v := range delta {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(delta)))
+}
+
+// ProjectDensity integrates the CIC density along the given axis (0=x, 1=y,
+// 2=z) and returns an Ng×Ng surface-density map normalised to mean 1 — the
+// "projected density field" of the paper's Figure 2.
+func (s *Solver) ProjectDensity(parts particles.Set, axis int) ([]float64, error) {
+	if axis < 0 || axis > 2 {
+		return nil, fmt.Errorf("nbody: axis must be 0, 1 or 2, got %d", axis)
+	}
+	n := s.p.Ng
+	rho := make([]float64, n*n*n)
+	var total float64
+	for i := range parts {
+		total += parts[i].Mass
+		depositCIC(rho, n, parts[i].Pos, parts[i].Mass)
+	}
+	out := make([]float64, n*n)
+	for iz := 0; iz < n; iz++ {
+		for iy := 0; iy < n; iy++ {
+			for ix := 0; ix < n; ix++ {
+				v := rho[(iz*n+iy)*n+ix]
+				switch axis {
+				case 0:
+					out[iz*n+iy] += v
+				case 1:
+					out[iz*n+ix] += v
+				default:
+					out[iy*n+ix] += v
+				}
+			}
+		}
+	}
+	if total > 0 {
+		mean := total / float64(n*n)
+		for i := range out {
+			out[i] /= mean
+		}
+	}
+	return out, nil
+}

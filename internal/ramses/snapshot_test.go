@@ -1,0 +1,104 @@
+package ramses
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/particles"
+)
+
+func randomSnapshot(n int, seed int64) *Snapshot {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Snapshot{A: 0.5, Box: 100}
+	for i := 0; i < n; i++ {
+		s.Parts = append(s.Parts, particles.Particle{
+			Pos:  [3]float64{rng.Float64(), rng.Float64(), rng.Float64()},
+			Vel:  [3]float64{rng.NormFloat64() * 100, rng.NormFloat64() * 100, rng.NormFloat64() * 100},
+			Mass: 1e10 * (1 + rng.Float64()),
+			ID:   int64(i),
+		})
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := randomSnapshot(100, 3)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A != s.A || got.Box != s.Box || len(got.Parts) != len(s.Parts) {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	for i := range s.Parts {
+		if got.Parts[i] != s.Parts[i] {
+			t.Fatalf("particle %d differs:\n got %+v\nwant %+v", i, got.Parts[i], s.Parts[i])
+		}
+	}
+}
+
+func TestSnapshotEmptyRoundTrip(t *testing.T) {
+	s := &Snapshot{A: 1, Box: 50}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Parts) != 0 {
+		t.Errorf("expected empty snapshot")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := randomSnapshot(50, 7)
+	path, err := SaveSnapshot(dir, 3, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(path, "output_00003") {
+		t.Errorf("unexpected path %q", path)
+	}
+	got, err := LoadSnapshot(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Parts) != 50 {
+		t.Errorf("%d particles, want 50", len(got.Parts))
+	}
+	if _, err := LoadSnapshot(dir, 4); err == nil {
+		t.Error("missing snapshot should error")
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("garbage")); err == nil {
+		t.Error("expected error for garbage")
+	}
+	// Truncated after header.
+	s := randomSnapshot(10, 1)
+	var buf bytes.Buffer
+	WriteSnapshot(&buf, s)
+	raw := buf.Bytes()
+	if _, err := ReadSnapshot(bytes.NewReader(raw[:40])); err == nil {
+		t.Error("expected error for truncated snapshot")
+	}
+}
+
+func TestSnapshotPath(t *testing.T) {
+	p := SnapshotPath("/work", 12)
+	want := filepath.Join("/work", "output_00012", "part.dat")
+	if p != want {
+		t.Errorf("SnapshotPath = %q, want %q", p, want)
+	}
+}

@@ -1,0 +1,265 @@
+// Package rpc is the distributed-object layer DIET builds on. The real DIET
+// uses CORBA (omniORB) for transparent remote method invocation; this
+// package provides the same facility with Go primitives: named objects
+// exposing methods, invoked over TCP with gob-encoded envelopes, plus an
+// in-process "local" transport so whole deployments can run inside one test
+// binary without sockets.
+//
+// Addresses are either "tcp:host:port" (or a bare "host:port") for network
+// objects, or "local:name" for in-process objects registered with ServeLocal.
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Handler dispatches one method call on one object.
+type Handler func(method string, body []byte) ([]byte, error)
+
+// ErrNoObject is returned when the target object is not registered.
+var ErrNoObject = errors.New("rpc: no such object")
+
+// request is the wire envelope for a call.
+type request struct {
+	Object string
+	Method string
+	Body   []byte
+}
+
+// response is the wire envelope for a reply.
+type response struct {
+	Body []byte
+	Err  string
+}
+
+// Server hosts named objects and serves invocations.
+type Server struct {
+	mu      sync.RWMutex
+	objects map[string]Handler
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{objects: make(map[string]Handler)}
+}
+
+// Register exposes an object under the given name. Re-registering replaces
+// the previous handler.
+func (s *Server) Register(object string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[object] = h
+}
+
+// Unregister removes an object.
+func (s *Server) Unregister(object string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, object)
+}
+
+// dispatch runs a request against the registered handler.
+func (s *Server) dispatch(req request) response {
+	s.mu.RLock()
+	h, ok := s.objects[req.Object]
+	s.mu.RUnlock()
+	if !ok {
+		return response{Err: fmt.Sprintf("%v: %q", ErrNoObject, req.Object)}
+	}
+	body, err := h(req.Method, req.Body)
+	if err != nil {
+		return response{Err: err.Error()}
+	}
+	return response{Body: body}
+}
+
+// Start begins serving on addr ("host:port", ":0" for ephemeral) in the
+// background and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// serveConn handles one connection carrying exactly one request/response
+// exchange, the simple and robust pattern for coarse-grained GridRPC calls.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var req request
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	resp := s.dispatch(req)
+	_ = gob.NewEncoder(conn).Encode(resp)
+}
+
+// Close stops the listener, waits for in-flight calls and removes any local
+// registrations pointing at this server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	localMu.Lock()
+	for name, srv := range localRegistry {
+		if srv == s {
+			delete(localRegistry, name)
+		}
+	}
+	localMu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// localRegistry maps "local:" names to in-process servers.
+var (
+	localMu       sync.RWMutex
+	localRegistry = make(map[string]*Server)
+)
+
+// ServeLocal registers the server under an in-process address and returns
+// that address ("local:<name>").
+func ServeLocal(name string, s *Server) (string, error) {
+	localMu.Lock()
+	defer localMu.Unlock()
+	if _, dup := localRegistry[name]; dup {
+		return "", fmt.Errorf("rpc: local address %q already in use", name)
+	}
+	localRegistry[name] = s
+	return "local:" + name, nil
+}
+
+// ResetLocal clears all in-process registrations; tests use it for isolation.
+func ResetLocal() {
+	localMu.Lock()
+	defer localMu.Unlock()
+	localRegistry = make(map[string]*Server)
+}
+
+// DialTimeout bounds connection establishment for tcp addresses.
+var DialTimeout = 5 * time.Second
+
+// Invoke calls object.method at addr with an opaque body and returns the
+// opaque reply. It chooses the transport from the address scheme.
+func Invoke(addr, object, method string, body []byte) ([]byte, error) {
+	if name, ok := strings.CutPrefix(addr, "local:"); ok {
+		localMu.RLock()
+		s := localRegistry[name]
+		localMu.RUnlock()
+		if s == nil {
+			return nil, fmt.Errorf("rpc: no local server at %q", addr)
+		}
+		resp := s.dispatch(request{Object: object, Method: method, Body: body})
+		if resp.Err != "" {
+			return nil, errors.New(resp.Err)
+		}
+		return resp.Body, nil
+	}
+	addr = strings.TrimPrefix(addr, "tcp:")
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(request{Object: object, Method: method, Body: body}); err != nil {
+		return nil, fmt.Errorf("rpc: sending to %s: %w", addr, err)
+	}
+	var resp response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("rpc: %s closed the connection", addr)
+		}
+		return nil, fmt.Errorf("rpc: receiving from %s: %w", addr, err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Body, nil
+}
+
+// Encode gob-encodes a value for use as a call body.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes a call body into v (a pointer).
+func Decode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// Call is the typed convenience wrapper: encodes in, invokes, decodes into
+// out (pass nil for methods without a reply payload).
+func Call(addr, object, method string, in, out any) error {
+	var body []byte
+	var err error
+	if in != nil {
+		body, err = Encode(in)
+		if err != nil {
+			return fmt.Errorf("rpc: encoding request for %s.%s: %w", object, method, err)
+		}
+	}
+	reply, err := Invoke(addr, object, method, body)
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		if err := Decode(reply, out); err != nil {
+			return fmt.Errorf("rpc: decoding reply from %s.%s: %w", object, method, err)
+		}
+	}
+	return nil
+}
+
+// HandlerFunc adapts a map of typed method handlers into a Handler. Methods
+// not in the map return an error.
+func HandlerFunc(methods map[string]func(body []byte) ([]byte, error)) Handler {
+	return func(method string, body []byte) ([]byte, error) {
+		fn, ok := methods[method]
+		if !ok {
+			return nil, fmt.Errorf("rpc: no such method %q", method)
+		}
+		return fn(body)
+	}
+}

@@ -1,0 +1,194 @@
+// Package scheduler implements DIET's plug-in scheduler framework: servers
+// report estimation vectors, and a pluggable policy ranks them for each
+// incoming request. The same policies drive both the live middleware (the
+// Master Agent ranks SeDs) and the discrete-event platform simulator, which
+// is what makes the paper's scheduling ablation (§6.2/§8: "a better makespan
+// could be attained by writing a plug-in scheduler") directly measurable.
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Estimate is one server's estimation vector, the DIET "collected computation
+// ability" for a service.
+type Estimate struct {
+	ServerID         string  // unique SeD identity
+	Service          string  // service this estimate answers for
+	Capacity         int     // concurrent solve slots (the paper's SeDs have 1)
+	Running          int     // solves currently executing
+	QueueLen         int     // requests waiting
+	PowerGFlops      float64 // advertised processing power
+	FreeMemMB        float64
+	LastSolveSeconds float64 // duration of the last completed solve; <0 if none yet
+}
+
+// Request describes the work to place.
+type Request struct {
+	Service    string
+	Seq        int     // client-side sequence number
+	WorkGFlops float64 // caller's work estimate; 0 if unknown
+}
+
+// Policy ranks candidate servers for a request, best first. Implementations
+// must be deterministic given their own state and safe for concurrent use.
+type Policy interface {
+	Name() string
+	// Rank returns indices into ests ordered from most to least preferred.
+	Rank(req Request, ests []Estimate) []int
+}
+
+// byServerID returns index order sorted by ServerID, the deterministic base
+// ordering every policy starts from.
+func byServerID(ests []Estimate) []int {
+	idx := make([]int, len(ests))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ests[idx[a]].ServerID < ests[idx[b]].ServerID })
+	return idx
+}
+
+// RoundRobin reproduces DIET's default behaviour in the paper's experiment:
+// with no execution history the agent can do no better than to "share the
+// total amount of requests on the available SeDs", handing them out in
+// rotation. The rotation counter is per-service.
+type RoundRobin struct {
+	mu       sync.Mutex
+	counters map[string]int
+}
+
+// NewRoundRobin returns a fresh rotation state.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{counters: make(map[string]int)} }
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "roundrobin" }
+
+// Rank implements Policy.
+func (r *RoundRobin) Rank(req Request, ests []Estimate) []int {
+	base := byServerID(ests)
+	if len(base) == 0 {
+		return base
+	}
+	r.mu.Lock()
+	c := r.counters[req.Service]
+	r.counters[req.Service] = c + 1
+	r.mu.Unlock()
+	out := make([]int, len(base))
+	for i := range base {
+		out[i] = base[(c+i)%len(base)]
+	}
+	return out
+}
+
+// Random picks a seeded-random order; a baseline for the ablation.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random policy with the given seed.
+func NewRandom(seed int64) *Random { return &Random{rng: rand.New(rand.NewSource(seed))} }
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Rank implements Policy.
+func (r *Random) Rank(req Request, ests []Estimate) []int {
+	base := byServerID(ests)
+	r.mu.Lock()
+	r.rng.Shuffle(len(base), func(i, j int) { base[i], base[j] = base[j], base[i] })
+	r.mu.Unlock()
+	return base
+}
+
+// MCT (minimum completion time) ranks servers by the estimated time until a
+// newly queued request would finish, using each server's last observed solve
+// time. With no history it degrades to least-loaded.
+type MCT struct {
+	// DefaultSolveSeconds is assumed when a server has no history.
+	DefaultSolveSeconds float64
+}
+
+// NewMCT returns an MCT policy with a 1-hour default service time.
+func NewMCT() *MCT { return &MCT{DefaultSolveSeconds: 3600} }
+
+// Name implements Policy.
+func (m *MCT) Name() string { return "mct" }
+
+// Rank implements Policy.
+func (m *MCT) Rank(req Request, ests []Estimate) []int {
+	base := byServerID(ests)
+	score := func(e Estimate) float64 {
+		st := e.LastSolveSeconds
+		if st <= 0 {
+			st = m.DefaultSolveSeconds
+		}
+		pending := float64(e.QueueLen + e.Running + 1)
+		cap := float64(e.Capacity)
+		if cap < 1 {
+			cap = 1
+		}
+		return pending * st / cap
+	}
+	sort.SliceStable(base, func(a, b int) bool { return score(ests[base[a]]) < score(ests[base[b]]) })
+	return base
+}
+
+// PowerAware is the plug-in the paper proposes as future work (§8): it maps
+// requests "according to the processing power" by estimating completion time
+// as (work × pending) / GFlops. It removes the Toulouse-vs-Nancy imbalance
+// of Figure 5.
+type PowerAware struct {
+	// DefaultWorkGFlops is assumed when the request carries no estimate.
+	DefaultWorkGFlops float64
+}
+
+// NewPowerAware returns a PowerAware policy assuming ~20 TFlop of work per
+// request when the client does not say (≈1.4 h on a 4-GFlops Opteron).
+func NewPowerAware() *PowerAware { return &PowerAware{DefaultWorkGFlops: 20000} }
+
+// Name implements Policy.
+func (p *PowerAware) Name() string { return "poweraware" }
+
+// Rank implements Policy.
+func (p *PowerAware) Rank(req Request, ests []Estimate) []int {
+	base := byServerID(ests)
+	work := req.WorkGFlops
+	if work <= 0 {
+		work = p.DefaultWorkGFlops
+	}
+	score := func(e Estimate) float64 {
+		power := e.PowerGFlops
+		if power <= 0 {
+			power = 1
+		}
+		pending := float64(e.QueueLen + e.Running + 1)
+		cap := float64(e.Capacity)
+		if cap < 1 {
+			cap = 1
+		}
+		return pending * work / power / cap
+	}
+	sort.SliceStable(base, func(a, b int) bool { return score(ests[base[a]]) < score(ests[base[b]]) })
+	return base
+}
+
+// ByName constructs a policy from its canonical name; the experiment harness
+// and the dietagent binary use it for their -scheduler flags.
+func ByName(name string, seed int64) (Policy, error) {
+	switch name {
+	case "roundrobin", "rr", "":
+		return NewRoundRobin(), nil
+	case "random":
+		return NewRandom(seed), nil
+	case "mct":
+		return NewMCT(), nil
+	case "poweraware", "plugin":
+		return NewPowerAware(), nil
+	}
+	return nil, fmt.Errorf("scheduler: unknown policy %q (want roundrobin, random, mct or poweraware)", name)
+}

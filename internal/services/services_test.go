@@ -1,0 +1,227 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diet"
+	"repro/internal/halo"
+	"repro/internal/ramses"
+	"repro/internal/rpc"
+)
+
+// tinyConfig keeps service-level integration tests fast.
+func tinyConfig() ramses.Config {
+	cfg := ramses.DefaultConfig()
+	cfg.NPart = 8
+	cfg.Astart = 0.1
+	cfg.Aout = []float64{0.5, 1.0}
+	cfg.StepsPerOutput = 3
+	cfg.FoF = halo.Params{LinkingLength: 0.3, MinParticles: 4}
+	return cfg
+}
+
+func TestDescriptors(t *testing.T) {
+	z1 := Zoom1Desc()
+	if z1.Service != "ramsesZoom1" || len(z1.Args) != 3 {
+		t.Errorf("Zoom1Desc = %+v", z1)
+	}
+	z2 := Zoom2Desc()
+	if z2.Service != "ramsesZoom2" {
+		t.Errorf("Zoom2Desc service %q", z2.Service)
+	}
+	// The paper's layout: alloc("ramsesZoom2", 6, 6, 8).
+	if z2.LastIn != 6 || z2.LastInOut != 6 || z2.LastOut != 8 {
+		t.Errorf("Zoom2Desc indices (%d,%d,%d), want (6,6,8)", z2.LastIn, z2.LastInOut, z2.LastOut)
+	}
+	if z2.Args[0].Kind != diet.File || z2.Args[7].Kind != diet.File || z2.Args[8].Kind != diet.Scalar {
+		t.Errorf("Zoom2Desc arg kinds wrong: %+v", z2.Args)
+	}
+}
+
+func TestZoom2ProfileMatchesDescriptor(t *testing.T) {
+	p, err := NewZoom2Profile(tinyConfig(), 3, 4, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Zoom2Desc().Matches(p); err != nil {
+		t.Errorf("client profile rejected by service descriptor: %v", err)
+	}
+	// The namelist argument is a real parseable namelist.
+	name, content, err := p.FileBytes(0)
+	if err != nil || name != "namelist.nml" {
+		t.Fatalf("namelist arg: %q, %v", name, err)
+	}
+	nl, err := ramses.ParseNamelist(strings.NewReader(string(content)))
+	if err != nil {
+		t.Fatalf("namelist does not parse: %v", err)
+	}
+	if _, err := ramses.ConfigFromNamelist(nl); err != nil {
+		t.Fatalf("namelist does not map to a config: %v", err)
+	}
+}
+
+func TestSolveZoom1Direct(t *testing.T) {
+	p, err := NewZoom1Profile(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := SolveZoom1(t.TempDir())
+	if err := solve(p); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := Zoom1Result(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NPart != 8*8*8 {
+		t.Errorf("catalog NPart %d, want 512", cat.NPart)
+	}
+}
+
+func TestSolveZoom2Direct(t *testing.T) {
+	cfg := tinyConfig()
+	p, err := NewZoom2Profile(cfg, 4, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := SolveZoom2(t.TempDir())
+	if err := solve(p); err != nil {
+		t.Fatal(err)
+	}
+	name, tarball, err := Zoom2Result(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "results.tar.gz" || len(tarball) == 0 {
+		t.Errorf("tarball %q, %d bytes", name, len(tarball))
+	}
+}
+
+func TestZoom2BadCenterReportsErrorCode(t *testing.T) {
+	cfg := tinyConfig()
+	p, err := NewZoom2Profile(cfg, 4, 4, 4, -3) // negative nbBox
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := SolveZoom2(t.TempDir())
+	// The middleware call itself succeeds; failure arrives via the error
+	// code, as in the paper's design.
+	if err := solve(p); err != nil {
+		t.Fatalf("solve should not fail at the middleware level: %v", err)
+	}
+	if _, _, err := Zoom2Result(p); err == nil {
+		t.Error("error code should surface through Zoom2Result")
+	}
+	code, _ := p.ScalarInt(8)
+	if code == 0 {
+		t.Error("error code should be non-zero")
+	}
+}
+
+func TestZoom2MalformedNamelistFailsCall(t *testing.T) {
+	p, _ := diet.NewProfile("ramsesZoom2", 6, 6, 8)
+	p.SetFileBytes(0, "namelist.nml", []byte("this is not a namelist"), diet.Volatile)
+	for i := 1; i <= 6; i++ {
+		p.SetScalarInt(i, 1, diet.Volatile)
+	}
+	p.SetFileBytes(7, "", nil, diet.Volatile)
+	p.SetScalarInt(8, 0, diet.Volatile)
+	solve := SolveZoom2(t.TempDir())
+	if err := solve(p); err == nil {
+		t.Error("malformed request should be a middleware-level failure")
+	}
+}
+
+func TestFullCampaignThroughMiddleware(t *testing.T) {
+	// The paper's experiment in miniature over the real middleware: one
+	// ramsesZoom1, then several ramsesZoom2 on the found halos, over two
+	// SeDs with local transport.
+	rpc.ResetLocal()
+	base := t.TempDir()
+	specs := []diet.SeDSpec{}
+	for _, name := range []string{"SeD-c1", "SeD-c2"} {
+		specs = append(specs, diet.SeDSpec{
+			Name: name, Parent: "LA1", Capacity: 1, PowerGFlops: 4,
+			Services: []diet.ServiceSpec{
+				{Desc: Zoom1Desc(), Solve: SolveZoom1(base)},
+				{Desc: Zoom2Desc(), Solve: SolveZoom2(base)},
+			},
+		})
+	}
+	d, err := diet.Deploy(diet.DeploymentSpec{
+		MAName: "MA-campaign", LAs: []string{"LA1"}, SeDs: specs, Local: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		d.Close()
+		rpc.ResetLocal()
+	}()
+	client, err := d.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+
+	// Phase 1.
+	p1, err := NewZoom1Profile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call(p1); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := Zoom1Result(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: one request per halo (at most 3), submitted simultaneously.
+	n := len(cat.Halos)
+	if n > 3 {
+		n = 3
+	}
+	if n == 0 {
+		t.Skip("tiny box produced no halos; phase 2 skipped")
+	}
+	var calls []*diet.AsyncCall
+	var profiles []*diet.Profile
+	for i := 0; i < n; i++ {
+		h := cat.Halos[i]
+		cx := int(h.Pos[0] * float64(cfg.NPart))
+		cy := int(h.Pos[1] * float64(cfg.NPart))
+		cz := int(h.Pos[2] * float64(cfg.NPart))
+		p, err := NewZoom2Profile(cfg, cx, cy, cz, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+		calls = append(calls, client.CallAsync(p))
+	}
+	if err := diet.WaitAll(calls); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range profiles {
+		name, tarball, err := Zoom2Result(p)
+		if err != nil {
+			t.Errorf("zoom %d: %v", i, err)
+			continue
+		}
+		if name != "results.tar.gz" || len(tarball) == 0 {
+			t.Errorf("zoom %d returned empty tarball", i)
+		}
+	}
+	// Both SeDs participated when more than one request was sent.
+	if n >= 2 {
+		servers := map[string]bool{}
+		for _, c := range calls {
+			info, _ := c.Wait()
+			servers[info.Server] = true
+		}
+		if len(servers) < 2 {
+			t.Logf("round robin used servers %v (2 expected for %d requests)", servers, n)
+		}
+	}
+}

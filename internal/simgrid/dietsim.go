@@ -1,0 +1,385 @@
+package simgrid
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/scheduler"
+)
+
+// ExperimentConfig describes the paper's campaign (§6.1): one low-resolution
+// 128³, 100 Mpc/h simulation (phase 1) followed by 100 zoom sub-simulations
+// submitted simultaneously (phase 2), on the PaperDeployment of 11 SeDs.
+type ExperimentConfig struct {
+	Platform   *platform.Platform
+	Deployment platform.Deployment
+	Policy     scheduler.Policy
+
+	NRequests int // phase-2 sub-simulations (paper: 100)
+
+	// Work sizes in GFlop. Defaults are calibrated so that a mean-power SeD
+	// takes 1h15m11s for phase 1 and 1h24m01s for a phase-2 request, the
+	// §6.2 means.
+	Phase1WorkGFlops float64
+	Phase2WorkGFlops float64
+	// WorkJitter is the fractional standard deviation of per-request work
+	// (zoom regions differ in clustering); deterministic via Seed.
+	WorkJitter float64
+	Seed       int64
+
+	// Middleware cost model (milliseconds), calibrated to §6.2: the CORBA
+	// marshalling + agent processing per find, and the service-initiation
+	// time on the SeD.
+	ORBOverheadMS float64 // per-request processing at MA + agents (paper find ≈ 49.8 ms total)
+	InitMS        float64 // service initiation on the SeD (paper: 20.8 ms)
+
+	// Data sizes: the namelist file shipped with each request and the
+	// results tarball shipped back.
+	NamelistKB float64
+	ResultMB   float64
+
+	// BatchMode routes every solve through an OAR-style reservation adding
+	// BatchGrantS seconds before the job starts (ablation A3).
+	BatchMode   bool
+	BatchGrantS float64
+
+	// ArrivalGapS spaces the phase-2 submissions instead of the paper's
+	// all-at-once burst; Figure 6's latency growth is pure burst queueing,
+	// and spacing arrivals beyond the system's drain rate flattens it.
+	ArrivalGapS float64
+}
+
+// DefaultExperiment returns the configuration reproducing the paper run.
+func DefaultExperiment(policy scheduler.Policy) ExperimentConfig {
+	dep := platform.PaperDeployment()
+	mean := meanPower(dep)
+	return ExperimentConfig{
+		Platform:         platform.Grid5000(),
+		Deployment:       dep,
+		Policy:           policy,
+		NRequests:        100,
+		Phase1WorkGFlops: 4511 * mean, // 1h15m11s at mean power
+		Phase2WorkGFlops: 5041 * mean, // 1h24m01s at mean power
+		WorkJitter:       0.05,
+		Seed:             1,
+		ORBOverheadMS:    31.5,
+		InitMS:           20.8,
+		NamelistKB:       4,
+		ResultMB:         64,
+	}
+}
+
+// meanPower averages SeD powers over a deployment.
+func meanPower(dep platform.Deployment) float64 {
+	var sum float64
+	for _, s := range dep.SeDs {
+		sum += s.PowerGFlops()
+	}
+	return sum / float64(len(dep.SeDs))
+}
+
+// RequestRecord traces one request through the middleware.
+type RequestRecord struct {
+	ID         int     // request number (0 = phase 1, 1..N = phase 2)
+	SeD        string  // chosen server
+	SubmitS    float64 // virtual time the client issued the request
+	StartS     float64 // virtual time the solve began computing
+	EndS       float64 // virtual time the solve finished
+	FindingMS  float64 // MA round trip: the Figure 6 "Find" series
+	LatencyMS  float64 // transfer + queue wait + init: the Figure 6 "Latency" series
+	WorkGFlops float64
+}
+
+// DurationS returns the compute duration.
+func (r RequestRecord) DurationS() float64 { return r.EndS - r.StartS }
+
+// SeDSummary aggregates one SeD's activity (the Figure 5 data).
+type SeDSummary struct {
+	Name      string
+	Site      string
+	Power     float64
+	Requests  []RequestRecord // Gantt items, in execution order
+	BusyHours float64
+}
+
+// ExperimentResult is the full campaign outcome.
+type ExperimentResult struct {
+	Policy        string
+	Phase1        RequestRecord
+	Records       []RequestRecord // phase 2, by request number
+	PerSeD        []SeDSummary    // ordered as the deployment lists SeDs
+	TotalS        float64         // makespan of the whole campaign
+	Phase1S       float64
+	MeanPhase2S   float64
+	SequentialS   float64 // sum of all compute durations: the no-grid baseline
+	OverheadMS    float64 // mean per-request middleware overhead (find + init)
+	TotalOverhead float64 // summed overhead, seconds (paper: ≈7 s)
+}
+
+// sedState is the simulator's view of one SeD.
+type sedState struct {
+	place     platform.SeDPlacement
+	queue     int     // waiting requests
+	running   int     // 0 or 1 (capacity 1, as in the paper)
+	freeAt    float64 // virtual time the current queue drains
+	lastSolve float64 // seconds; <0 until the SeD has completed a solve
+	records   []RequestRecord
+}
+
+// estimate builds the scheduler's view of the SeD.
+func (s *sedState) estimate(service string) scheduler.Estimate {
+	return scheduler.Estimate{
+		ServerID:         s.place.Name,
+		Service:          service,
+		Capacity:         1,
+		Running:          s.running,
+		QueueLen:         s.queue,
+		PowerGFlops:      s.place.PowerGFlops(),
+		LastSolveSeconds: s.lastSolve,
+	}
+}
+
+// RunExperiment replays the campaign in virtual time and returns every
+// quantity the paper reports.
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	if cfg.Platform == nil || len(cfg.Deployment.SeDs) == 0 {
+		return nil, fmt.Errorf("simgrid: experiment needs a platform and a deployment")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("simgrid: experiment needs a scheduling policy")
+	}
+	if cfg.NRequests < 1 {
+		return nil, fmt.Errorf("simgrid: NRequests must be >= 1, got %d", cfg.NRequests)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sim := NewSim()
+
+	seds := make([]*sedState, len(cfg.Deployment.SeDs))
+	byName := make(map[string]*sedState, len(seds))
+	for i, p := range cfg.Deployment.SeDs {
+		seds[i] = &sedState{place: p, lastSolve: -1}
+		byName[p.Name] = seds[i]
+	}
+	maSite := cfg.Deployment.MASite
+
+	// findingTime models one MA submission: client→MA round trip, the
+	// parallel estimate collection through the LA hierarchy (bounded by the
+	// slowest site round trip), and the ORB/agent processing constant.
+	findingTime := func() float64 {
+		clientRTT := 2 * cfg.Platform.Latency(maSite, maSite).Seconds() * 1000
+		worst := 0.0
+		for _, la := range cfg.Deployment.LAs {
+			rtt := 2 * cfg.Platform.Latency(maSite, la.Site).Seconds() * 1000
+			if rtt > worst {
+				worst = rtt
+			}
+		}
+		jitter := rng.NormFloat64() * 0.8
+		return clientRTT + worst + cfg.ORBOverheadMS + jitter
+	}
+
+	// choose ranks the SeDs with the plug-in policy and returns the winner.
+	choose := func(service string, work float64, seq int) *sedState {
+		ests := make([]scheduler.Estimate, len(seds))
+		for i, s := range seds {
+			ests[i] = s.estimate(service)
+		}
+		order := cfg.Policy.Rank(scheduler.Request{Service: service, Seq: seq, WorkGFlops: work}, ests)
+		return byName[ests[order[0]].ServerID]
+	}
+
+	// dispatch queues one request on a SeD and returns its completed record
+	// via the callback when the solve finishes.
+	dispatch := func(id int, service string, work float64, findMS float64, onDone func(RequestRecord)) {
+		sed := choose(service, work, id)
+		now := sim.Now()
+		transferS := cfg.Platform.TransferTime(maSite, sed.place.Site, cfg.NamelistKB/1024).Seconds()
+		arriveS := now + transferS
+		startS := arriveS
+		if sed.freeAt > startS {
+			startS = sed.freeAt
+		}
+		startS += cfg.InitMS / 1000
+		if cfg.BatchMode {
+			startS += cfg.BatchGrantS
+		}
+		durS := work / sed.place.PowerGFlops()
+		endS := startS + durS
+		sed.queue++
+		sed.freeAt = endS
+		rec := RequestRecord{
+			ID: id, SeD: sed.place.Name,
+			SubmitS: now, StartS: startS, EndS: endS,
+			FindingMS:  findMS,
+			LatencyMS:  (startS - now) * 1000, // transfer + queue wait + init
+			WorkGFlops: work,
+		}
+		sim.At(startS, func() {
+			sed.queue--
+			sed.running++
+		})
+		sim.At(endS, func() {
+			sed.running--
+			sed.lastSolve = durS
+			sed.records = append(sed.records, rec)
+			onDone(rec)
+		})
+	}
+
+	res := &ExperimentResult{Policy: cfg.Policy.Name()}
+
+	// Phase 1 at t=0.
+	f1 := findingTime()
+	var phase2Submitted bool
+	submitPhase2 := func() {}
+	sim.At(f1/1000, func() {
+		dispatch(0, "ramsesZoom1", cfg.Phase1WorkGFlops, f1, func(rec RequestRecord) {
+			res.Phase1 = rec
+			res.Phase1S = rec.EndS
+			if !phase2Submitted {
+				phase2Submitted = true
+				submitPhase2()
+			}
+		})
+	})
+
+	// Phase 2: the client requests all sub-simulations "simultaneously";
+	// the MA serves the finds one after another, so request i's submission
+	// completes one finding time after request i-1's.
+	done := 0
+	submitPhase2 = func() {
+		t := sim.Now()
+		for i := 1; i <= cfg.NRequests; i++ {
+			id := i
+			work := cfg.Phase2WorkGFlops * (1 + cfg.WorkJitter*rng.NormFloat64())
+			if work < 0.1*cfg.Phase2WorkGFlops {
+				work = 0.1 * cfg.Phase2WorkGFlops
+			}
+			f := findingTime()
+			t += f/1000 + cfg.ArrivalGapS
+			sim.At(t, func() {
+				dispatch(id, "ramsesZoom2", work, f, func(rec RequestRecord) {
+					res.Records = append(res.Records, rec)
+					done++
+				})
+			})
+		}
+	}
+
+	sim.Run()
+	if done != cfg.NRequests {
+		return nil, fmt.Errorf("simgrid: only %d of %d requests completed", done, cfg.NRequests)
+	}
+
+	sort.Slice(res.Records, func(i, j int) bool { return res.Records[i].ID < res.Records[j].ID })
+	var sumDur, sumOverhead float64
+	res.TotalS = res.Phase1.EndS
+	for _, r := range res.Records {
+		if r.EndS > res.TotalS {
+			res.TotalS = r.EndS
+		}
+		sumDur += r.DurationS()
+		sumOverhead += (r.FindingMS + cfg.InitMS) / 1000
+	}
+	res.MeanPhase2S = sumDur / float64(len(res.Records))
+	res.SequentialS = sumDur + res.Phase1.DurationS()
+	res.OverheadMS = sumOverhead / float64(len(res.Records)) * 1000
+	res.TotalOverhead = sumOverhead + (res.Phase1.FindingMS+cfg.InitMS)/1000
+
+	for _, s := range seds {
+		sum := SeDSummary{Name: s.place.Name, Site: s.place.Site, Power: s.place.PowerGFlops()}
+		for _, r := range s.records {
+			if r.ID == 0 {
+				continue // phase 1 is reported separately, as in Figure 5
+			}
+			sum.Requests = append(sum.Requests, r)
+			sum.BusyHours += r.DurationS() / 3600
+		}
+		res.PerSeD = append(res.PerSeD, sum)
+	}
+	return res, nil
+}
+
+// Hours formats seconds as "XXhYYmZZs" the way the paper quotes durations.
+func Hours(s float64) string {
+	h := int(s) / 3600
+	m := (int(s) % 3600) / 60
+	sec := int(s) % 60
+	return fmt.Sprintf("%dh %dmin %ds", h, m, sec)
+}
+
+// PrintFig5 writes the Figure 5 data: the Gantt chart rows (top) and the
+// per-SeD request counts and total execution times (bottom).
+func (r *ExperimentResult) PrintFig5(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5 — distribution of the %d sub-simulations over the SeDs (policy=%s)\n",
+		len(r.Records), r.Policy)
+	fmt.Fprintln(w, "SeD          site      reqs  busy      per-request hours")
+	for _, s := range r.PerSeD {
+		var items []string
+		for _, req := range s.Requests {
+			items = append(items, fmt.Sprintf("%.2f", req.DurationS()/3600))
+		}
+		fmt.Fprintf(w, "%-12s %-9s %4d  %6.2fh  [%s]\n",
+			s.Name, s.Site, len(s.Requests), s.BusyHours, strings.Join(items, " "))
+	}
+}
+
+// PrintFig6 writes the Figure 6 series: per request number, the finding time
+// (ms) and the latency (ms, log scale in the paper).
+func (r *ExperimentResult) PrintFig6(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6 — finding time and latency per request (policy=%s)\n", r.Policy)
+	fmt.Fprintln(w, "req   find_ms   latency_ms")
+	for _, rec := range r.Records {
+		fmt.Fprintf(w, "%3d   %7.1f   %12.1f\n", rec.ID, rec.FindingMS, rec.LatencyMS)
+	}
+}
+
+// PrintTotals writes the §6.2 headline numbers.
+func (r *ExperimentResult) PrintTotals(w io.Writer) {
+	fmt.Fprintf(w, "Experiment totals (policy=%s)\n", r.Policy)
+	fmt.Fprintf(w, "  whole experiment      %s\n", Hours(r.TotalS))
+	fmt.Fprintf(w, "  phase 1               %s\n", Hours(r.Phase1.DurationS()))
+	fmt.Fprintf(w, "  phase 2 mean          %s\n", Hours(r.MeanPhase2S))
+	fmt.Fprintf(w, "  sequential baseline   %s (%.0fh)\n", Hours(r.SequentialS), r.SequentialS/3600)
+	fmt.Fprintf(w, "  speedup               %.1fx\n", r.SequentialS/r.TotalS)
+	fmt.Fprintf(w, "  mean find time        %.1f ms\n", r.MeanFindingMS())
+	fmt.Fprintf(w, "  overhead per request  %.1f ms\n", r.OverheadMS)
+	fmt.Fprintf(w, "  total overhead        %.1f s\n", r.TotalOverhead)
+}
+
+// MeanFindingMS averages the phase-2 finding times.
+func (r *ExperimentResult) MeanFindingMS() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, rec := range r.Records {
+		sum += rec.FindingMS
+	}
+	return sum / float64(len(r.Records))
+}
+
+// MakespanHours returns the campaign makespan in hours.
+func (r *ExperimentResult) MakespanHours() float64 { return r.TotalS / 3600 }
+
+// RequestCounts returns the per-SeD request counts keyed by SeD name.
+func (r *ExperimentResult) RequestCounts() map[string]int {
+	out := make(map[string]int, len(r.PerSeD))
+	for _, s := range r.PerSeD {
+		out[s.Name] = len(s.Requests)
+	}
+	return out
+}
+
+// BusyHoursBySeD returns per-SeD total execution hours keyed by name.
+func (r *ExperimentResult) BusyHoursBySeD() map[string]float64 {
+	out := make(map[string]float64, len(r.PerSeD))
+	for _, s := range r.PerSeD {
+		out[s.Name] = s.BusyHours
+	}
+	return out
+}

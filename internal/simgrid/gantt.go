@@ -1,0 +1,48 @@
+package simgrid
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PrintGantt renders the top panel of Figure 5 — the Gantt chart of the
+// sub-simulations over the SeDs — as text: one row per SeD, time binned into
+// `width` columns spanning the campaign, each request drawn with a rotating
+// digit so adjacent requests are distinguishable.
+func (r *ExperimentResult) PrintGantt(w io.Writer, width int) {
+	if width < 10 {
+		width = 10
+	}
+	total := r.TotalS
+	if total <= 0 {
+		fmt.Fprintln(w, "(empty campaign)")
+		return
+	}
+	fmt.Fprintf(w, "Figure 5 (top) — Gantt chart, %s total, one column ≈ %s\n",
+		Hours(total), Hours(total/float64(width)))
+	for _, s := range r.PerSeD {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for qi, req := range s.Requests {
+			mark := byte('0' + qi%10)
+			lo := int(req.StartS / total * float64(width))
+			hi := int(req.EndS / total * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(w, "%-11s |%s|\n", s.Name, string(row))
+	}
+	// Time axis.
+	axis := make([]byte, width)
+	for i := range axis {
+		axis[i] = ' '
+	}
+	fmt.Fprintf(w, "%-11s 0%sT\n", "", strings.Repeat("-", width-2))
+}

@@ -1,0 +1,58 @@
+package simgrid
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+func TestPrintGantt(t *testing.T) {
+	res := runDefault(t, scheduler.NewRoundRobin())
+	var b strings.Builder
+	res.PrintGantt(&b, 60)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 11 SeD rows + axis.
+	if len(lines) != 13 {
+		t.Fatalf("Gantt has %d lines, want 13:\n%s", len(lines), out)
+	}
+	for _, sed := range []string{"Nancy1", "Toulouse2", "Lyon1-cap"} {
+		if !strings.Contains(out, sed) {
+			t.Errorf("Gantt missing row for %s", sed)
+		}
+	}
+	// Every SeD row must show work (digits) and the rows must be equal width.
+	rowLen := -1
+	for _, l := range lines[1:12] {
+		bar := l[strings.Index(l, "|"):]
+		if rowLen == -1 {
+			rowLen = len(bar)
+		} else if len(bar) != rowLen {
+			t.Errorf("ragged Gantt row: %q", l)
+		}
+		if !strings.ContainsAny(bar, "0123456789") {
+			t.Errorf("idle SeD row in a full campaign: %q", l)
+		}
+	}
+	// The busiest SeDs work to the right edge; at least one row should have
+	// a digit in the final column.
+	lastColBusy := false
+	for _, l := range lines[1:12] {
+		if len(l) >= 2 && l[len(l)-2] >= '0' && l[len(l)-2] <= '9' {
+			lastColBusy = true
+		}
+	}
+	if !lastColBusy {
+		t.Error("no SeD busy at campaign end; makespan row missing")
+	}
+}
+
+func TestPrintGanttTinyWidthClamped(t *testing.T) {
+	res := runDefault(t, scheduler.NewRoundRobin())
+	var b strings.Builder
+	res.PrintGantt(&b, 3) // clamped to 10
+	if !strings.Contains(b.String(), "|") {
+		t.Error("clamped Gantt failed to render")
+	}
+}

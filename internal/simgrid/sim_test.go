@@ -1,0 +1,134 @@
+package simgrid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim()
+	var log []float64
+	s.At(3, func() { log = append(log, 3) })
+	s.At(1, func() { log = append(log, 1) })
+	s.At(2, func() { log = append(log, 2) })
+	n := s.Run()
+	if n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if !sort.Float64sAreSorted(log) {
+		t.Errorf("events out of order: %v", log)
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock at %g, want 3", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := NewSim()
+	var log []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { log = append(log, i) })
+	}
+	s.Run()
+	for i := range log {
+		if log[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", log)
+		}
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	s := NewSim()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			s.After(1, recurse)
+		}
+	}
+	s.After(1, recurse)
+	s.Run()
+	if depth != 100 {
+		t.Errorf("cascade depth %d, want 100", depth)
+	}
+	if s.Now() != 100 {
+		t.Errorf("clock %g, want 100", s.Now())
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	s := NewSim()
+	s.At(10, func() {
+		if err := s.At(5, func() {}); err == nil {
+			t.Error("scheduling in the past should fail")
+		}
+	})
+	s.Run()
+	if err := s.At(-1, func() {}); err == nil {
+		t.Error("negative time should fail")
+	}
+	if err := s.At(1, nil); err == nil {
+		t.Error("nil function should fail")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim()
+	var fired []float64
+	for _, tt := range []float64{1, 2, 3, 4, 5} {
+		tt := tt
+		s.At(tt, func() { fired = append(fired, tt) })
+	}
+	n := s.RunUntil(3)
+	if n != 3 || len(fired) != 3 {
+		t.Errorf("RunUntil(3) fired %d events: %v", n, fired)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("%d pending, want 2", s.Pending())
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock %g", s.Now())
+	}
+	s.Run()
+	if len(fired) != 5 {
+		t.Errorf("total fired %d", len(fired))
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		ok := true
+		last := -1.0
+		for i := 0; i < 50; i++ {
+			tt := rng.Float64() * 100
+			s.At(tt, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := NewSim()
+	for i := 0; i < 7; i++ {
+		s.At(float64(i), func() {})
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Errorf("Fired = %d", s.Fired())
+	}
+}

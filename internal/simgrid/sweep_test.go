@@ -1,0 +1,72 @@
+package simgrid
+
+import (
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+func TestScaledDeployment(t *testing.T) {
+	d1, err := ScaledDeployment(1)
+	if err != nil || len(d1.SeDs) != 11 {
+		t.Fatalf("mult=1: %d SeDs, %v", len(d1.SeDs), err)
+	}
+	d3, err := ScaledDeployment(3)
+	if err != nil || len(d3.SeDs) != 33 {
+		t.Fatalf("mult=3: %d SeDs, %v", len(d3.SeDs), err)
+	}
+	names := map[string]bool{}
+	for _, s := range d3.SeDs {
+		if names[s.Name] {
+			t.Fatalf("duplicate SeD name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if _, err := ScaledDeployment(0); err == nil {
+		t.Error("mult=0 should fail")
+	}
+}
+
+func TestSweepSeDsMakespanFalls(t *testing.T) {
+	rr := func() scheduler.Policy { return scheduler.NewRoundRobin() }
+	points, err := SweepSeDs(rr, []int{1, 2, 4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].MakespanHours >= points[i-1].MakespanHours {
+			t.Errorf("makespan must fall with more SeDs: %.2f -> %.2f at %d SeDs",
+				points[i-1].MakespanHours, points[i].MakespanHours, points[i].SeDs)
+		}
+		if points[i].MeanLatencyMS >= points[i-1].MeanLatencyMS {
+			t.Errorf("queueing latency must fall with more SeDs")
+		}
+	}
+	// With 44 SeDs and 100 requests, queues hold at most 3 jobs: makespan
+	// under ~3 max-durations + phase 1.
+	if points[2].MakespanHours > 8 {
+		t.Errorf("44-SeD makespan %.2f h implausibly high", points[2].MakespanHours)
+	}
+}
+
+func TestSweepRequestsMakespanGrows(t *testing.T) {
+	rr := func() scheduler.Policy { return scheduler.NewRoundRobin() }
+	points, err := SweepRequests(rr, []int{25, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].MakespanHours <= points[i-1].MakespanHours {
+			t.Errorf("makespan must grow with campaign size")
+		}
+	}
+	// Speedup approaches the SeD count as the campaign grows (queues stay
+	// full): the 200-request run must beat the 25-request run's speedup.
+	if points[2].Speedup <= points[0].Speedup {
+		t.Errorf("long campaigns should amortise better: speedup %.1f vs %.1f",
+			points[2].Speedup, points[0].Speedup)
+	}
+}

@@ -1,0 +1,55 @@
+package workflow
+
+import "fmt"
+
+// RamsesZoomDocument builds the paper's Figure 4 workflow as an XML document:
+//
+//	(1) retrieve simulation parameters
+//	(2) GRAFIC1 first run (no zoom, no offset)
+//	(3) rollWhiteNoise: centring according to the offsets cx, cy, cz
+//	(4) GRAFIC1 second run, with offsets
+//	(5..) GRAFIC2 per zoom level (when nLevels > 0)
+//	(·) set up the MPI environment, RAMSES3d (MPI code), stop the environment
+//	(j) HaloMaker on one snapshot per process
+//	(j+3) TreeMaker post-processing HaloMaker's outputs
+//	(j+4) GalaxyMaker post-processing TreeMaker's outputs
+//	(j+5) send the post-processing results back to the client
+//
+// nLevels is the number of nested zoom boxes (0 reproduces the "if nb levels
+// == 0" branch that skips GRAFIC2), nSnapshots the number of RAMSES outputs
+// post-processed by HaloMaker.
+func RamsesZoomDocument(nLevels, nSnapshots int) *Document {
+	doc := &Document{Name: "ramsesZoom"}
+	add := func(id, service, depends string) {
+		doc.Nodes = append(doc.Nodes, NodeDef{ID: id, Service: service, Depends: depends})
+	}
+	add("params", "retrieveParameters", "")
+	add("grafic1_first", "grafic1", "params")
+	add("rollwhitenoise", "rollWhiteNoise", "grafic1_first")
+	add("grafic1_second", "grafic1", "rollwhitenoise")
+
+	lastIC := "grafic1_second"
+	for l := 1; l <= nLevels; l++ {
+		id := fmt.Sprintf("grafic2_l%d", l)
+		add(id, "grafic2", lastIC)
+		lastIC = id
+	}
+	add("mpi_setup", "setupMPI", lastIC)
+	add("ramses3d", "ramses3d", "mpi_setup")
+	add("mpi_stop", "stopMPI", "ramses3d")
+
+	haloDeps := "mpi_stop"
+	var haloIDs string
+	for s := 1; s <= nSnapshots; s++ {
+		id := fmt.Sprintf("halomaker_s%d", s)
+		add(id, "haloMaker", haloDeps)
+		if haloIDs != "" {
+			haloIDs += " "
+		}
+		haloIDs += id
+	}
+	add("treemaker", "treeMaker", haloIDs)
+	add("galaxymaker", "galaxyMaker", "treemaker")
+	add("send_results", "sendResults", "galaxymaker")
+	return doc
+}

@@ -1,0 +1,364 @@
+// Package workflow is the DIET workflow management system the paper names as
+// its first next step (§8): "the workflow management system, which uses an
+// XML document to represent the nodes and the data dependencies. The
+// simulation execution sequence could be represented as a directed acyclic
+// graph". It provides a DAG engine with topological validation and
+// event-driven parallel execution, XML (de)serialisation, and a generator
+// for the paper's Figure 4 RAMSES workflow.
+package workflow
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Document is the XML representation of a workflow.
+type Document struct {
+	XMLName xml.Name  `xml:"workflow"`
+	Name    string    `xml:"name,attr"`
+	Nodes   []NodeDef `xml:"node"`
+}
+
+// NodeDef is one XML workflow node: an id, the DIET service (or local
+// action) it runs, and the ids it depends on.
+type NodeDef struct {
+	ID      string `xml:"id,attr"`
+	Service string `xml:"service,attr"`
+	Depends string `xml:"depends,attr,omitempty"` // space-separated ids
+}
+
+// ParseXML reads a workflow document.
+func ParseXML(r io.Reader) (*Document, error) {
+	var doc Document
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("workflow: parsing XML: %w", err)
+	}
+	return &doc, nil
+}
+
+// WriteXML emits the document with indentation.
+func (d *Document) WriteXML(w io.Writer) error {
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Action is the executable body of a node. The ctx carries completion
+// results of the dependencies.
+type Action func(ctx *TaskContext) error
+
+// TaskContext is handed to each action.
+type TaskContext struct {
+	ID      string
+	Service string
+	// Outputs of completed dependencies, keyed by node id. Actions may store
+	// any value for their dependents via SetOutput.
+	deps map[string]any
+	dag  *DAG
+	out  any
+}
+
+// DepOutput returns the stored output of a dependency.
+func (c *TaskContext) DepOutput(id string) (any, bool) {
+	v, ok := c.deps[id]
+	return v, ok
+}
+
+// SetOutput stores this node's output for its dependents.
+func (c *TaskContext) SetOutput(v any) { c.out = v }
+
+// task is a DAG node with its binding.
+type task struct {
+	def    NodeDef
+	deps   []string
+	action Action
+}
+
+// DAG is an executable workflow.
+type DAG struct {
+	name  string
+	tasks map[string]*task
+	order []string // insertion order, for deterministic reporting
+}
+
+// New creates an empty DAG.
+func New(name string) *DAG {
+	return &DAG{name: name, tasks: make(map[string]*task)}
+}
+
+// Name returns the workflow name.
+func (d *DAG) Name() string { return d.name }
+
+// Add inserts a node with its dependencies and (optionally nil) action.
+func (d *DAG) Add(id, service string, deps []string, action Action) error {
+	if id == "" {
+		return fmt.Errorf("workflow: node needs an id")
+	}
+	if _, dup := d.tasks[id]; dup {
+		return fmt.Errorf("workflow: duplicate node id %q", id)
+	}
+	d.tasks[id] = &task{
+		def:    NodeDef{ID: id, Service: service, Depends: strings.Join(deps, " ")},
+		deps:   append([]string(nil), deps...),
+		action: action,
+	}
+	d.order = append(d.order, id)
+	return nil
+}
+
+// Bind attaches an action to an existing node (used after FromDocument).
+func (d *DAG) Bind(id string, action Action) error {
+	t, ok := d.tasks[id]
+	if !ok {
+		return fmt.Errorf("workflow: no node %q to bind", id)
+	}
+	t.action = action
+	return nil
+}
+
+// FromDocument builds an unbound DAG from an XML document.
+func FromDocument(doc *Document) (*DAG, error) {
+	d := New(doc.Name)
+	for _, n := range doc.Nodes {
+		var deps []string
+		if strings.TrimSpace(n.Depends) != "" {
+			deps = strings.Fields(n.Depends)
+		}
+		if err := d.Add(n.ID, n.Service, deps, nil); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Document renders the DAG back to its XML form.
+func (d *DAG) Document() *Document {
+	doc := &Document{Name: d.name}
+	for _, id := range d.order {
+		doc.Nodes = append(doc.Nodes, d.tasks[id].def)
+	}
+	return doc
+}
+
+// TopoOrder returns a deterministic topological order, or an error naming a
+// cycle or a missing dependency.
+func (d *DAG) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(d.tasks))
+	dependents := make(map[string][]string)
+	for id, t := range d.tasks {
+		if _, ok := indeg[id]; !ok {
+			indeg[id] = 0
+		}
+		for _, dep := range t.deps {
+			if _, ok := d.tasks[dep]; !ok {
+				return nil, fmt.Errorf("workflow: node %q depends on unknown node %q", id, dep)
+			}
+			indeg[id]++
+			dependents[dep] = append(dependents[dep], id)
+		}
+	}
+	var ready []string
+	for id, n := range indeg {
+		if n == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Strings(ready)
+	var order []string
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		next := dependents[id]
+		sort.Strings(next)
+		for _, dep := range next {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+		sort.Strings(ready)
+	}
+	if len(order) != len(d.tasks) {
+		var stuck []string
+		for id, n := range indeg {
+			if n > 0 {
+				stuck = append(stuck, id)
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("workflow: cycle among nodes %v", stuck)
+	}
+	return order, nil
+}
+
+// Result records one node's execution.
+type Result struct {
+	ID      string
+	Start   time.Time
+	End     time.Time
+	Err     error
+	Skipped bool // dependency failed, node never ran
+}
+
+// Report is the outcome of a workflow execution.
+type Report struct {
+	Results map[string]Result
+	Err     error // first node error, if any
+}
+
+// Execute runs the DAG event-driven: every node starts as soon as all its
+// dependencies completed, up to maxParallel nodes at once (0 = unlimited).
+// If a node fails, its transitive dependents are skipped but independent
+// branches still complete.
+func (d *DAG) Execute(maxParallel int) *Report {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return &Report{Err: err, Results: map[string]Result{}}
+	}
+	for _, id := range order {
+		if d.tasks[id].action == nil {
+			return &Report{Err: fmt.Errorf("workflow: node %q has no action bound", id), Results: map[string]Result{}}
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		results = make(map[string]Result, len(order))
+		outputs = make(map[string]any)
+		remain  = make(map[string]int, len(order))
+		deps    = make(map[string][]string)
+		wg      sync.WaitGroup
+	)
+	var sem chan struct{}
+	if maxParallel > 0 {
+		sem = make(chan struct{}, maxParallel)
+	}
+	for id, t := range d.tasks {
+		remain[id] = len(t.deps)
+		for _, dep := range t.deps {
+			deps[dep] = append(deps[dep], id)
+		}
+	}
+
+	var launch func(id string)
+	var finish func(id string, res Result)
+
+	launch = func(id string) {
+		t := d.tasks[id]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			mu.Lock()
+			ctx := &TaskContext{ID: id, Service: t.def.Service, dag: d, deps: make(map[string]any, len(t.deps))}
+			for _, dep := range t.deps {
+				ctx.deps[dep] = outputs[dep]
+			}
+			mu.Unlock()
+			res := Result{ID: id, Start: time.Now()}
+			res.Err = t.action(ctx)
+			res.End = time.Now()
+			if res.Err == nil {
+				mu.Lock()
+				outputs[id] = ctx.out
+				mu.Unlock()
+			}
+			finish(id, res)
+		}()
+	}
+
+	var skipDependents func(id string)
+	skipDependents = func(id string) {
+		for _, dep := range deps[id] {
+			if _, done := results[dep]; done {
+				continue
+			}
+			results[dep] = Result{ID: dep, Skipped: true}
+			skipDependents(dep)
+		}
+	}
+
+	finish = func(id string, res Result) {
+		mu.Lock()
+		results[id] = res
+		if res.Err != nil {
+			skipDependents(id)
+		} else {
+			for _, dep := range deps[id] {
+				if _, skipped := results[dep]; skipped {
+					continue
+				}
+				remain[dep]--
+				if remain[dep] == 0 {
+					launch(dep)
+				}
+			}
+		}
+		mu.Unlock()
+	}
+
+	mu.Lock()
+	var roots []string
+	for _, id := range order {
+		if remain[id] == 0 {
+			roots = append(roots, id)
+		}
+	}
+	for _, id := range roots {
+		launch(id)
+	}
+	mu.Unlock()
+	wg.Wait()
+
+	report := &Report{Results: results}
+	for _, id := range order {
+		if r, ok := results[id]; ok && r.Err != nil {
+			report.Err = fmt.Errorf("workflow: node %q failed: %w", id, r.Err)
+			break
+		}
+	}
+	return report
+}
+
+// CriticalPathLen returns the number of nodes on the longest dependency
+// chain, a cheap parallelism diagnostic.
+func (d *DAG) CriticalPathLen() (int, error) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	depth := make(map[string]int, len(order))
+	longest := 0
+	for _, id := range order {
+		dd := 1
+		for _, dep := range d.tasks[id].deps {
+			if depth[dep]+1 > dd {
+				dd = depth[dep] + 1
+			}
+		}
+		depth[id] = dd
+		if dd > longest {
+			longest = dd
+		}
+	}
+	return longest, nil
+}
+
+// Size returns the number of nodes.
+func (d *DAG) Size() int { return len(d.tasks) }

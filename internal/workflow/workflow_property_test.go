@@ -1,0 +1,90 @@
+package workflow
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds an acyclic workflow by only allowing edges from lower to
+// higher node indices.
+func randomDAG(rng *rand.Rand, n int) *DAG {
+	d := New("random")
+	for i := 0; i < n; i++ {
+		var deps []string
+		for j := 0; j < i; j++ {
+			if rng.Float64() < 0.3 {
+				deps = append(deps, fmt.Sprintf("n%d", j))
+			}
+		}
+		d.Add(fmt.Sprintf("n%d", i), "svc", deps, nil)
+	}
+	return d
+}
+
+// TestTopoOrderProperty checks that every topological order places each node
+// after all of its dependencies, for random DAGs.
+func TestTopoOrderProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%20) + 2
+		d := randomDAG(rng, n)
+		order, err := d.TopoOrder()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := make(map[string]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for id, task := range d.tasks {
+			for _, dep := range task.deps {
+				if pos[dep] >= pos[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExecuteRunsEachNodeOnceProperty executes random DAGs and checks every
+// node ran exactly once with its dependencies already done.
+func TestExecuteRunsEachNodeOnceProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%15) + 2
+		d := randomDAG(rng, n)
+		var mu sync.Mutex
+		done := make(map[string]bool, n)
+		ok := true
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("n%d", i)
+			deps := d.tasks[id].deps
+			d.Bind(id, func(ctx *TaskContext) error {
+				mu.Lock()
+				defer mu.Unlock()
+				if done[ctx.ID] {
+					ok = false // ran twice
+				}
+				for _, dep := range deps {
+					if !done[dep] {
+						ok = false // dependency not finished
+					}
+				}
+				done[ctx.ID] = true
+				return nil
+			})
+		}
+		rep := d.Execute(4)
+		return rep.Err == nil && len(done) == n && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

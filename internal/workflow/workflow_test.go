@@ -1,0 +1,315 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTopoOrderLinear(t *testing.T) {
+	d := New("linear")
+	d.Add("a", "s", nil, nil)
+	d.Add("b", "s", []string{"a"}, nil)
+	d.Add("c", "s", []string{"b"}, nil)
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "a,b,c" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	d := New("cycle")
+	d.Add("a", "s", []string{"c"}, nil)
+	d.Add("b", "s", []string{"a"}, nil)
+	d.Add("c", "s", []string{"b"}, nil)
+	if _, err := d.TopoOrder(); err == nil {
+		t.Error("cycle should be detected")
+	}
+}
+
+func TestTopoOrderMissingDep(t *testing.T) {
+	d := New("missing")
+	d.Add("a", "s", []string{"ghost"}, nil)
+	if _, err := d.TopoOrder(); err == nil {
+		t.Error("missing dependency should be detected")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	d := New("v")
+	if err := d.Add("", "s", nil, nil); err == nil {
+		t.Error("empty id should fail")
+	}
+	if err := d.Add("a", "s", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("a", "s", nil, nil); err == nil {
+		t.Error("duplicate id should fail")
+	}
+}
+
+func TestExecuteRespectsDependencies(t *testing.T) {
+	d := New("deps")
+	var mu sync.Mutex
+	var log []string
+	record := func(id string) Action {
+		return func(ctx *TaskContext) error {
+			mu.Lock()
+			log = append(log, id)
+			mu.Unlock()
+			return nil
+		}
+	}
+	d.Add("ic", "grafic", nil, record("ic"))
+	d.Add("run", "ramses3d", []string{"ic"}, record("run"))
+	d.Add("halo1", "haloMaker", []string{"run"}, record("halo1"))
+	d.Add("halo2", "haloMaker", []string{"run"}, record("halo2"))
+	d.Add("tree", "treeMaker", []string{"halo1", "halo2"}, record("tree"))
+
+	rep := d.Execute(0)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	pos := map[string]int{}
+	for i, id := range log {
+		pos[id] = i
+	}
+	for _, pair := range [][2]string{{"ic", "run"}, {"run", "halo1"}, {"run", "halo2"}, {"halo1", "tree"}, {"halo2", "tree"}} {
+		if pos[pair[0]] > pos[pair[1]] {
+			t.Errorf("%s ran after %s", pair[0], pair[1])
+		}
+	}
+	if len(rep.Results) != 5 {
+		t.Errorf("%d results", len(rep.Results))
+	}
+}
+
+func TestExecuteParallelBranches(t *testing.T) {
+	// Independent branches overlap in time when maxParallel allows.
+	d := New("par")
+	var concurrent, peak atomic.Int32
+	slow := func(ctx *TaskContext) error {
+		cur := concurrent.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		concurrent.Add(-1)
+		return nil
+	}
+	for i := 0; i < 4; i++ {
+		d.Add(fmt.Sprintf("n%d", i), "s", nil, slow)
+	}
+	rep := d.Execute(0)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if peak.Load() < 2 {
+		t.Errorf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}
+
+func TestExecuteMaxParallelBound(t *testing.T) {
+	d := New("bound")
+	var concurrent, peak atomic.Int32
+	slow := func(ctx *TaskContext) error {
+		cur := concurrent.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		concurrent.Add(-1)
+		return nil
+	}
+	for i := 0; i < 6; i++ {
+		d.Add(fmt.Sprintf("n%d", i), "s", nil, slow)
+	}
+	rep := d.Execute(2)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if peak.Load() > 2 {
+		t.Errorf("peak concurrency %d exceeds bound 2", peak.Load())
+	}
+}
+
+func TestExecuteFailureSkipsDependents(t *testing.T) {
+	d := New("fail")
+	boom := errors.New("boom")
+	var cRan atomic.Bool
+	d.Add("a", "s", nil, func(*TaskContext) error { return nil })
+	d.Add("b", "s", []string{"a"}, func(*TaskContext) error { return boom })
+	d.Add("c", "s", []string{"b"}, func(*TaskContext) error { cRan.Store(true); return nil })
+	d.Add("d", "s", []string{"a"}, func(*TaskContext) error { return nil }) // independent branch
+
+	rep := d.Execute(0)
+	if rep.Err == nil || !errors.Is(rep.Results["b"].Err, boom) {
+		t.Fatalf("failure not reported: %+v", rep.Err)
+	}
+	if cRan.Load() {
+		t.Error("dependent of failed node must not run")
+	}
+	if !rep.Results["c"].Skipped {
+		t.Error("c should be marked skipped")
+	}
+	if rep.Results["d"].Err != nil || rep.Results["d"].Skipped {
+		t.Error("independent branch should still complete")
+	}
+}
+
+func TestExecuteUnboundAction(t *testing.T) {
+	d := New("unbound")
+	d.Add("a", "s", nil, nil)
+	rep := d.Execute(0)
+	if rep.Err == nil {
+		t.Error("unbound node should fail the run")
+	}
+}
+
+func TestOutputsFlowAlongEdges(t *testing.T) {
+	d := New("data")
+	d.Add("gen", "s", nil, func(ctx *TaskContext) error {
+		ctx.SetOutput(21)
+		return nil
+	})
+	var got int
+	d.Add("use", "s", []string{"gen"}, func(ctx *TaskContext) error {
+		v, ok := ctx.DepOutput("gen")
+		if !ok {
+			return errors.New("no dep output")
+		}
+		got = v.(int) * 2
+		return nil
+	})
+	rep := d.Execute(0)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if got != 42 {
+		t.Errorf("dataflow result %d, want 42", got)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	doc := RamsesZoomDocument(2, 3)
+	var buf strings.Builder
+	if err := doc.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseXML(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != doc.Name || len(parsed.Nodes) != len(doc.Nodes) {
+		t.Fatalf("round trip: %d nodes vs %d", len(parsed.Nodes), len(doc.Nodes))
+	}
+	for i := range doc.Nodes {
+		if parsed.Nodes[i] != doc.Nodes[i] {
+			t.Errorf("node %d: %+v vs %+v", i, parsed.Nodes[i], doc.Nodes[i])
+		}
+	}
+}
+
+func TestFromDocumentValidates(t *testing.T) {
+	doc := &Document{Name: "bad", Nodes: []NodeDef{
+		{ID: "a", Service: "s", Depends: "b"},
+		{ID: "b", Service: "s", Depends: "a"},
+	}}
+	if _, err := FromDocument(doc); err == nil {
+		t.Error("cyclic document should fail")
+	}
+}
+
+func TestRamsesZoomDocumentShape(t *testing.T) {
+	doc := RamsesZoomDocument(3, 4)
+	d, err := FromDocument(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// params, grafic1×2, roll, grafic2×3, mpi setup/stop, ramses3d,
+	// halomaker×4, treemaker, galaxymaker, send = 17 nodes.
+	if d.Size() != 17 {
+		t.Errorf("workflow has %d nodes", d.Size())
+	}
+	cp, err := d.CriticalPathLen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// params→g1→roll→g1→g2×3→mpi→ramses→mpi_stop→halo→tree→galaxy→send = 14.
+	if cp != 14 {
+		t.Errorf("critical path %d, want 14", cp)
+	}
+	// The "no zoom" branch skips GRAFIC2 entirely (paper: "If nb levels == 0").
+	flat := RamsesZoomDocument(0, 1)
+	for _, n := range flat.Nodes {
+		if strings.HasPrefix(n.ID, "grafic2") {
+			t.Error("nLevels=0 should have no GRAFIC2 nodes")
+		}
+	}
+}
+
+func TestRamsesWorkflowExecutes(t *testing.T) {
+	doc := RamsesZoomDocument(1, 2)
+	d, err := FromDocument(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	var mu sync.Mutex
+	for _, n := range doc.Nodes {
+		id := n.ID
+		if err := d.Bind(id, func(ctx *TaskContext) error {
+			mu.Lock()
+			order = append(order, ctx.ID)
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := d.Execute(4)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if len(order) != d.Size() {
+		t.Errorf("executed %d of %d nodes", len(order), d.Size())
+	}
+	if order[0] != "params" || order[len(order)-1] != "send_results" {
+		t.Errorf("boundary nodes out of place: first %s last %s", order[0], order[len(order)-1])
+	}
+}
+
+func TestBindUnknownNode(t *testing.T) {
+	d := New("bind")
+	if err := d.Bind("ghost", func(*TaskContext) error { return nil }); err == nil {
+		t.Error("binding unknown node should fail")
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	d := New("diamond")
+	d.Add("a", "s", nil, nil)
+	d.Add("b", "s", []string{"a"}, nil)
+	d.Add("c", "s", []string{"a"}, nil)
+	d.Add("d", "s", []string{"b", "c"}, nil)
+	cp, err := d.CriticalPathLen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 3 {
+		t.Errorf("critical path %d, want 3", cp)
+	}
+}
