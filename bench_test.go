@@ -10,6 +10,7 @@
 //	BenchmarkAblationScheduler    — A1: plug-in scheduler vs equal distribution
 //	BenchmarkAblationWorkflow     — A2: workflow engine vs hard-coded pipeline
 //	BenchmarkAblationBatch        — A3: OAR-style reservations vs direct fork
+//	BenchmarkAblationForecast     — A5: CoRI forecasting vs static scheduling
 //
 // Figures 5/6 and the totals replay the full Grid'5000 campaign in the
 // discrete-event simulator; headline values are exported as benchmark
@@ -321,6 +322,47 @@ func BenchmarkAblationBatch(b *testing.B) {
 	b.ReportMetric(direct.MakespanHours(), "direct_hours")
 	b.ReportMetric(batched.MakespanHours(), "batch_hours")
 	b.ReportMetric(batched.TotalS-direct.TotalS, "batch_cost_s")
+}
+
+// BenchmarkAblationForecast measures ablation A5: the CoRI-style resource
+// forecasting subsystem (internal/cori) feeding the history-aware plug-in
+// schedulers, at full campaign scale on the paper's heterogeneous Figure-5
+// platform. Reported arms: the paper's round-robin, the static power-aware
+// plug-in, forecast-aware with no prior history (cold), and forecast-aware
+// after a training campaign (trained).
+func BenchmarkAblationForecast(b *testing.B) {
+	var res *simgrid.ForecastAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simgrid.RunForecastAblation(func() simgrid.ExperimentConfig {
+			return simgrid.DefaultExperiment(nil)
+		}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("honest: roundrobin %s, poweraware %s, forecast cold %s, trained %s, contention %s",
+		simgrid.Hours(res.RoundRobin.TotalS), simgrid.Hours(res.PowerAware.TotalS),
+		simgrid.Hours(res.ForecastCold.TotalS), simgrid.Hours(res.ForecastTrained.TotalS),
+		simgrid.Hours(res.Contention.TotalS))
+	b.Logf("miscalibrated: roundrobin %s, poweraware %s, forecast trained %s",
+		simgrid.Hours(res.SkewRoundRobin.TotalS), simgrid.Hours(res.SkewPowerAware.TotalS),
+		simgrid.Hours(res.SkewTrained.TotalS))
+	b.ReportMetric(res.RoundRobin.MakespanHours(), "roundrobin_hours")
+	b.ReportMetric(res.PowerAware.MakespanHours(), "poweraware_hours")
+	b.ReportMetric(res.ForecastCold.MakespanHours(), "forecast_cold_hours")
+	b.ReportMetric(res.ForecastTrained.MakespanHours(), "forecast_trained_hours")
+	b.ReportMetric(res.Contention.MakespanHours(), "contention_hours")
+	b.ReportMetric(res.SkewPowerAware.MakespanHours(), "skew_poweraware_hours")
+	b.ReportMetric(res.SkewTrained.MakespanHours(), "skew_forecast_hours")
+	b.ReportMetric(res.ImprovementPct(), "improvement_pct")
+	b.ReportMetric(res.ForecastGainPct(), "forecast_gain_pct")
+	if res.ForecastTrained.TotalS >= res.RoundRobin.TotalS {
+		b.Fatal("the forecast-fed plug-in scheduler must improve on round-robin")
+	}
+	if res.SkewTrained.TotalS >= res.SkewPowerAware.TotalS {
+		b.Fatal("on a miscalibrated platform, measured forecasting must beat the misled static plug-in")
+	}
 }
 
 // BenchmarkMiddlewareOverhead measures the real (not simulated) middleware

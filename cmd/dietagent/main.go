@@ -33,7 +33,7 @@ func main() {
 		withNaming = flag.Bool("with-naming", false, "host the naming service in this process")
 		namingPort = flag.String("naming-listen", ":9001", "naming service listen address (with -with-naming)")
 		listen     = flag.String("listen", ":9000", "agent listen address")
-		policy     = flag.String("policy", "roundrobin", "MA scheduling policy: roundrobin, random, mct, poweraware")
+		policy     = flag.String("policy", "roundrobin", "MA scheduling policy: roundrobin, random, mct, poweraware, forecastaware, contentionaware")
 		seed       = flag.Int64("seed", 1, "seed for the random policy")
 	)
 	flag.Parse()

@@ -11,7 +11,9 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"repro/internal/cori"
 	"repro/internal/diet"
 	"repro/internal/services"
 )
@@ -27,6 +29,12 @@ func main() {
 		power      = flag.Float64("power", 50, "advertised processing power, GFlops")
 		cluster    = flag.String("cluster", "", "cluster label for reporting")
 		workdir    = flag.String("workdir", "", "working directory (default: a temp dir)")
+		// CoRI monitor tuning: every SeD records its solve history and
+		// forecasts durations for the history-aware schedulers
+		// (forecastaware, contentionaware on the agent side).
+		coriWindow   = flag.Int("cori-window", 64, "CoRI history ring size per service")
+		coriHalfLife = flag.Duration("cori-halflife", time.Hour, "CoRI forecast-confidence half-life")
+		coriStats    = flag.Duration("cori-stats", 0, "log CoRI metrics every interval (0 = off)")
 	)
 	flag.Parse()
 	if *namingAddr == "" {
@@ -45,6 +53,7 @@ func main() {
 		Name: *name, Parent: *parent, Naming: *namingAddr,
 		Capacity: *capacity, PowerGFlops: *power, Cluster: *cluster,
 		WorkDir: dir, ListenAddr: *listen,
+		CoRI: cori.Config{Window: *coriWindow, HalfLife: *coriHalfLife},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -57,6 +66,16 @@ func main() {
 	}
 	log.Printf("SeD %s serving on %s (services %v, workdir %s)",
 		*name, sed.Addr(), sed.ServiceNames(), dir)
+
+	if *coriStats > 0 {
+		go func() {
+			for range time.Tick(*coriStats) {
+				for _, svc := range sed.Monitor().Services() {
+					log.Printf("CoRI %s: %v", svc, sed.Monitor().Metrics(svc))
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -6,7 +6,9 @@
 //
 //	experiment -all                      # everything, round-robin (the paper's run)
 //	experiment -fig5 -scheduler poweraware
-//	experiment -compare                  # round-robin vs power-aware makespan
+//	experiment -compare                  # round-robin vs the plug-in schedulers
+//	experiment -forecast -scheduler forecastaware   # CoRI monitors on every SeD
+//	experiment -forecast-ablation        # A5: cold vs trained forecasting arms
 package main
 
 import (
@@ -21,7 +23,7 @@ import (
 
 func main() {
 	var (
-		policyName = flag.String("scheduler", "roundrobin", "policy: roundrobin, random, mct, poweraware")
+		policyName = flag.String("scheduler", "roundrobin", "policy: roundrobin, random, mct, poweraware, forecastaware, contentionaware")
 		requests   = flag.Int("requests", 100, "phase-2 sub-simulations")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		fig5       = flag.Bool("fig5", false, "print the Figure 5 distribution")
@@ -33,9 +35,11 @@ func main() {
 		grantS     = flag.Float64("batch-grant", 30, "reservation grant delay, seconds")
 		sweep      = flag.Bool("sweep", false, "run the capacity/workload scaling sweeps (A4)")
 		arrivalGap = flag.Float64("arrival-gap", 0, "seconds between phase-2 submissions (0 = the paper's burst)")
+		forecast   = flag.Bool("forecast", false, "attach a CoRI monitor to every SeD (history for forecastaware/contentionaware)")
+		fcAblation = flag.Bool("forecast-ablation", false, "run the forecasting ablation (A5): static vs cold vs trained scheduling")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep {
+	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation {
 		*all = true
 	}
 
@@ -50,6 +54,7 @@ func main() {
 		cfg.BatchMode = *batch
 		cfg.BatchGrantS = *grantS
 		cfg.ArrivalGapS = *arrivalGap
+		cfg.Forecast = *forecast || name == "forecastaware" || name == "contentionaware"
 		res, err := simgrid.RunExperiment(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -86,11 +91,46 @@ func main() {
 		return
 	}
 
+	if *fcAblation {
+		fmt.Println("Ablation A5 — CoRI forecasting vs static scheduling (paper §8 future work):")
+		res, err := simgrid.RunForecastAblation(func() simgrid.ExperimentConfig {
+			cfg := simgrid.DefaultExperiment(nil)
+			cfg.NRequests = *requests
+			cfg.Seed = *seed
+			cfg.BatchMode = *batch
+			cfg.BatchGrantS = *grantS
+			cfg.ArrivalGapS = *arrivalGap
+			return cfg
+		}, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := func(name string, r *simgrid.ExperimentResult) {
+			fmt.Printf("  %-20s makespan %s  (%.2fh)  speedup %.1fx\n",
+				name, simgrid.Hours(r.TotalS), r.MakespanHours(), r.SequentialS/r.TotalS)
+		}
+		fmt.Println(" honest platform (advertised power = delivered power):")
+		row("roundrobin", res.RoundRobin)
+		row("poweraware", res.PowerAware)
+		row("forecast (cold)", res.ForecastCold)
+		row("forecast (trained)", res.ForecastTrained)
+		row("contention (trained)", res.Contention)
+		fmt.Printf("  → plug-in scheduling saves %.1f%% over round-robin (mostly the static A1 effect)\n",
+			res.ImprovementPct())
+		fmt.Println(" miscalibrated platform (Nancy delivers 35%, Sophia1 50% of advertised):")
+		row("roundrobin", res.SkewRoundRobin)
+		row("poweraware (misled)", res.SkewPowerAware)
+		row("forecast (trained)", res.SkewTrained)
+		fmt.Printf("  → measuring speed instead of trusting it saves %.1f%% over the misled static plug-in\n",
+			res.ForecastGainPct())
+		return
+	}
+
 	if *compare {
 		fmt.Println("Ablation A1 — default equal distribution vs the plug-in scheduler (paper §8):")
-		for _, name := range []string{"roundrobin", "random", "mct", "poweraware"} {
+		for _, name := range []string{"roundrobin", "random", "mct", "poweraware", "forecastaware", "contentionaware"} {
 			res := run(name)
-			fmt.Printf("  %-11s makespan %s  (%.2fh)  speedup %.1fx\n",
+			fmt.Printf("  %-15s makespan %s  (%.2fh)  speedup %.1fx\n",
 				name, simgrid.Hours(res.TotalS), res.MakespanHours(),
 				res.SequentialS/res.TotalS)
 		}

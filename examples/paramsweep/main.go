@@ -1,9 +1,13 @@
 // Paramsweep explores "new research axes in cosmological simulations (on
 // various low resolutions initial conditions)" — the use case the paper's
 // conclusion names. It sweeps the σ₈ normalisation and the random seed over
-// a heterogeneous pool of SeDs with the MCT plug-in scheduler, and reports
-// how structure formation responds (halo counts at z=0) together with the
-// load balance the scheduler achieved.
+// a heterogeneous pool of SeDs with the contention-aware plug-in scheduler.
+// The sweep submits as one burst, so placement is scheduled cold and the
+// policy degrades to its power-aware fallback; meanwhile every SeD's CoRI
+// monitor records the solves, and the run ends by printing the measured
+// models a follow-up sweep (or any later client) would be scheduled on. It
+// reports how structure formation responds (halo counts at z=0) together
+// with the load balance achieved.
 //
 //	go run ./examples/paramsweep
 package main
@@ -43,7 +47,7 @@ func main() {
 		MAName: "MA1",
 		LAs:    []string{"LA1"},
 		SeDs:   seds,
-		Policy: core.NewMCT(), // queue-aware placement for the burst
+		Policy: core.NewContentionAware(), // history-aware; power-aware fallback while cold
 		Local:  true,
 	})
 	if err != nil {
@@ -111,7 +115,7 @@ func main() {
 		results[i] = outcome{point: sweep[i], server: info.Server, halos: len(cat.Halos), mass: topMass}
 	}
 
-	fmt.Printf("parameter sweep: %d simulations in %v over %d SeDs (MCT scheduling)\n\n",
+	fmt.Printf("parameter sweep: %d simulations in %v over %d SeDs (contention-aware scheduling)\n\n",
 		len(sweep), time.Since(start).Round(time.Millisecond), len(powers))
 	fmt.Println("sigma8  seed  server  halos  top-halo mass (M☉/h)")
 	for _, r := range results {
@@ -135,5 +139,16 @@ func main() {
 			sum += h
 		}
 		fmt.Printf("  sigma8=%.2f  mean halos %.1f\n", s, float64(sum)/float64(len(bySigma[s])))
+	}
+
+	// The CoRI models trained by this burst — what a follow-up sweep would
+	// actually be scheduled on, in place of the advertised powers above.
+	fmt.Println("\nCoRI models learned during the sweep (EST_* metrics):")
+	for _, sed := range deployment.SeDs {
+		for _, svc := range sed.Monitor().Services() {
+			met := sed.Monitor().Metrics(svc)
+			fmt.Printf("  %-6s %s: %2.0f solves, EWMA %.2fs, confidence %.2f\n",
+				sed.Name(), svc, met["EST_NBSAMPLES"], met["EST_TCOMP"], met["EST_CONFIDENCE"])
+		}
 	}
 }

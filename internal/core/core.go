@@ -127,10 +127,14 @@ var (
 	GrpcWaitAll    = diet.GrpcWaitAll
 	GrpcWaitAny    = diet.GrpcWaitAny
 
-	// Scheduling policies.
-	NewRoundRobin = scheduler.NewRoundRobin
-	NewRandom     = scheduler.NewRandom
-	NewMCT        = scheduler.NewMCT
-	NewPowerAware = scheduler.NewPowerAware
-	PolicyByName  = scheduler.ByName
+	// Scheduling policies. The forecast-aware pair ranks on the CoRI
+	// history every SeD collects (internal/cori) and degrades to
+	// power-aware behaviour until history exists.
+	NewRoundRobin      = scheduler.NewRoundRobin
+	NewRandom          = scheduler.NewRandom
+	NewMCT             = scheduler.NewMCT
+	NewPowerAware      = scheduler.NewPowerAware
+	NewForecastAware   = scheduler.NewForecastAware
+	NewContentionAware = scheduler.NewContentionAware
+	PolicyByName       = scheduler.ByName
 )

@@ -1,0 +1,330 @@
+// Package cori implements the resource-information collector and performance
+// forecaster the paper's conclusion calls for: in real DIET the CoRI
+// (Collector of Resource Information) and FAST layers feed plug-in schedulers
+// with richer server information than the static estimation vector, and the
+// paper notes a better makespan "could be attained by writing a plug-in
+// scheduler" driven by such data.
+//
+// Each SeD hosts a Monitor. The Monitor records the history of completed
+// solves — duration, work size, queue depth at admission — into a bounded
+// ring per service, and maintains two online duration models:
+//
+//   - an EWMA of solve durations (fixed per-sample weight; the separate
+//     Confidence signal handles wall-clock staleness), the right predictor
+//     for constant-cost services and the fallback when work sizes are
+//     unknown;
+//   - an online least-squares fit duration ≈ base + perGFlop·work, which
+//     captures how a heterogeneous work size maps to time on *this* server
+//     (the slope is effectively the inverse of the server's delivered power,
+//     measured rather than advertised).
+//
+// Forecast answers "how long would work GFlops take here, and how long until
+// the server drains what it already accepted" — the two quantities the
+// forecast-aware plug-in schedulers in internal/scheduler rank by.
+package cori
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/scheduler"
+)
+
+// Sample is one completed solve observation.
+type Sample struct {
+	Service    string
+	WorkGFlops float64       // caller's work estimate; 0 when unknown
+	Duration   time.Duration // compute time, excluding queue wait
+	QueueDepth int           // requests already queued when this one was admitted
+	At         time.Time     // completion time
+}
+
+// Config tunes a Monitor. The zero value selects sensible defaults.
+type Config struct {
+	// Window bounds the per-service history ring (default 64).
+	Window int
+	// Alpha is the EWMA weight of the newest sample (default 0.25).
+	Alpha float64
+	// HalfLife is the staleness half-life of forecast confidence: a model
+	// whose newest sample is HalfLife old is trusted half as much
+	// (default 1h, roughly one paper-scale solve).
+	HalfLife time.Duration
+	// Now overrides the clock, letting tests drive staleness decay
+	// deterministically and the simulator run the Monitor in virtual time.
+	// Defaults to time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.25
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = time.Hour
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// history is the bounded per-service record plus the online models.
+type history struct {
+	ring  []Sample // bounded; oldest overwritten first
+	next  int      // ring write cursor
+	count int      // total samples ever observed (≥ len(ring) entries kept)
+
+	ewmaSeconds float64
+	lastAt      time.Time
+
+	// Online least-squares accumulators over the *ring* contents are
+	// recomputed on demand; keeping them windowed (not lifetime sums) lets
+	// the model track servers whose delivered power drifts.
+}
+
+// Model is a snapshot of the forecaster's state for one service — the
+// extended estimation vector a SeD copies into scheduler.Estimate.
+type Model struct {
+	Service string
+	Samples int // total solves observed (lifetime)
+	Window  int // solves currently in the ring
+
+	// EWMASeconds is the exponentially weighted recent solve duration
+	// (per-sample weight Alpha; staleness shows up in Confidence, not here).
+	EWMASeconds float64
+	// BaseSeconds and PerGFlopSeconds are the least-squares fit
+	// duration ≈ BaseSeconds + PerGFlopSeconds·work. PerGFlopSeconds is 0
+	// when the window holds no work-size spread to regress on (unknown or
+	// constant work), in which case EWMASeconds is the whole model.
+	BaseSeconds     float64
+	PerGFlopSeconds float64
+	// MeasuredGFlops is the delivered power implied by the fit (1/slope),
+	// 0 when the slope is unavailable.
+	MeasuredGFlops float64
+	// Confidence ∈ (0,1]: 2^(-age/HalfLife) where age is the time since the
+	// newest sample. Fresh history ≈ 1; stale history decays toward 0.
+	Confidence float64
+	// AgeSeconds is that age, for reporting.
+	AgeSeconds float64
+	// MeanQueueDepth is the average queue depth solves met at admission —
+	// the contention signal.
+	MeanQueueDepth float64
+}
+
+// SolveSeconds predicts the duration of work GFlops under this model;
+// it returns a negative value when the model holds no samples. It delegates
+// to scheduler.Estimate.ForecastSolveSeconds so the collector and the
+// policies share one prediction implementation.
+func (m Model) SolveSeconds(workGFlops float64) float64 {
+	var est scheduler.Estimate
+	m.ApplyToEstimate(&est, 0)
+	return est.ForecastSolveSeconds(workGFlops)
+}
+
+// ApplyToEstimate copies the model into est's forecast-extension fields,
+// with drainSeconds (see Monitor.DrainSeconds) as the pending-work forecast.
+// Both the live diet.SeD and the simulator's mirrored SeD build their
+// estimation vectors through this one projection, so the two paths cannot
+// drift.
+func (m Model) ApplyToEstimate(est *scheduler.Estimate, drainSeconds float64) {
+	est.HasForecast = true
+	est.ForecastSamples = m.Samples
+	est.EWMASolveSeconds = m.EWMASeconds
+	est.ForecastBaseS = m.BaseSeconds
+	est.ForecastPerGFlopS = m.PerGFlopSeconds
+	est.ForecastConfidence = m.Confidence
+	est.PendingWorkSeconds = drainSeconds
+}
+
+// DrainSeconds forecasts how long the server needs to work off its
+// accepted-but-unfinished solves: per-service pending counts, each priced at
+// that service's recent EWMA duration, shared over capacity slots. A pending
+// service with no history of its own (nothing completed yet) borrows the
+// proxy model's EWMA rather than being priced at zero.
+func (m *Monitor) DrainSeconds(pending map[string]int, proxy Model, capacity int) float64 {
+	if capacity < 1 {
+		capacity = 1
+	}
+	// Only the cached EWMAs are needed — skip the full Model regression,
+	// this sits on the per-request estimation hot path.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total float64
+	for svc, n := range pending {
+		if n <= 0 {
+			continue
+		}
+		ewma := proxy.EWMASeconds
+		if h := m.svc[svc]; h != nil && h.count > 0 {
+			ewma = h.ewmaSeconds
+		}
+		total += float64(n) * ewma
+	}
+	return total / float64(capacity)
+}
+
+// Monitor collects per-service solve history for one server and forecasts
+// solve durations. It is safe for concurrent use.
+type Monitor struct {
+	cfg Config
+	now func() time.Time
+
+	mu  sync.Mutex
+	svc map[string]*history
+}
+
+// NewMonitor returns a Monitor with the given configuration.
+func NewMonitor(cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{cfg: cfg, now: cfg.Now, svc: make(map[string]*history)}
+}
+
+// SetNow rebinds the Monitor's clock (nil restores time.Now). The simulator
+// uses it to carry a trained Monitor into a fresh virtual-time run.
+func (m *Monitor) SetNow(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	m.mu.Lock()
+	m.now = now
+	m.mu.Unlock()
+}
+
+// Observe records one completed solve. Zero-duration samples are clamped to
+// a microsecond so models stay positive.
+func (m *Monitor) Observe(s Sample) {
+	if s.Service == "" {
+		return
+	}
+	if s.Duration <= 0 {
+		s.Duration = time.Microsecond
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s.At.IsZero() {
+		s.At = m.now()
+	}
+	h := m.svc[s.Service]
+	if h == nil {
+		h = &history{ring: make([]Sample, 0, m.cfg.Window)}
+		m.svc[s.Service] = h
+	}
+	if len(h.ring) < m.cfg.Window {
+		h.ring = append(h.ring, s)
+	} else {
+		h.ring[h.next] = s
+	}
+	h.next = (h.next + 1) % m.cfg.Window
+	h.count++
+	d := s.Duration.Seconds()
+	if h.count == 1 {
+		h.ewmaSeconds = d
+	} else {
+		h.ewmaSeconds = m.cfg.Alpha*d + (1-m.cfg.Alpha)*h.ewmaSeconds
+	}
+	if s.At.After(h.lastAt) {
+		h.lastAt = s.At
+	}
+}
+
+// Model snapshots the forecaster state for a service. ok is false when the
+// Monitor has never observed the service.
+func (m *Monitor) Model(service string) (Model, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.svc[service]
+	if h == nil || h.count == 0 {
+		return Model{Service: service}, false
+	}
+	out := Model{
+		Service:     service,
+		Samples:     h.count,
+		Window:      len(h.ring),
+		EWMASeconds: h.ewmaSeconds,
+	}
+	// Windowed least squares of duration on work, over samples that carry a
+	// work estimate. Needs spread in work sizes: with a single distinct work
+	// value the slope is undefined and the EWMA is the better model.
+	var n, sw, sd, sww, swd float64
+	var qsum float64
+	for _, s := range h.ring {
+		qsum += float64(s.QueueDepth)
+		if s.WorkGFlops <= 0 {
+			continue
+		}
+		w, d := s.WorkGFlops, s.Duration.Seconds()
+		n++
+		sw += w
+		sd += d
+		sww += w * w
+		swd += w * d
+	}
+	out.MeanQueueDepth = qsum / float64(len(h.ring))
+	if n >= 2 {
+		det := n*sww - sw*sw
+		if det > 1e-9*sww { // guard against a degenerate (constant-work) window
+			slope := (n*swd - sw*sd) / det
+			if slope > 0 {
+				out.PerGFlopSeconds = slope
+				out.BaseSeconds = (sd - slope*sw) / n
+				out.MeasuredGFlops = 1 / slope
+			}
+		}
+	}
+	age := m.now().Sub(h.lastAt)
+	if age < 0 {
+		age = 0
+	}
+	out.AgeSeconds = age.Seconds()
+	out.Confidence = math.Exp2(-age.Seconds() / m.cfg.HalfLife.Seconds())
+	return out, true
+}
+
+// Forecast predicts the solve duration of work GFlops for a service.
+// ok is false (and seconds negative) when there is no history to predict
+// from — callers must then fall back to static information such as the
+// advertised power.
+func (m *Monitor) Forecast(service string, workGFlops float64) (seconds float64, ok bool) {
+	model, ok := m.Model(service)
+	if !ok {
+		return -1, false
+	}
+	return model.SolveSeconds(workGFlops), true
+}
+
+// Services lists the services with history, sorted.
+func (m *Monitor) Services() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.svc))
+	for name := range m.svc {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Metrics exposes the CoRI-style extended estimation tags for a service,
+// named after the EST_* constants of DIET's CoRI API. Absent service →
+// empty map.
+func (m *Monitor) Metrics(service string) map[string]float64 {
+	model, ok := m.Model(service)
+	if !ok {
+		return map[string]float64{}
+	}
+	return map[string]float64{
+		"EST_NBSAMPLES":     float64(model.Samples),
+		"EST_TCOMP":         model.EWMASeconds,
+		"EST_TCOMP_BASE":    model.BaseSeconds,
+		"EST_TCOMP_PERGF":   model.PerGFlopSeconds,
+		"EST_MEASURED_FLOP": model.MeasuredGFlops,
+		"EST_CONFIDENCE":    model.Confidence,
+		"EST_AGE_S":         model.AgeSeconds,
+		"EST_AVG_QUEUE":     model.MeanQueueDepth,
+	}
+}

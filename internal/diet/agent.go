@@ -2,6 +2,7 @@ package diet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -330,14 +331,46 @@ func (a *Agent) collect(req CollectRequest) []scheduler.Estimate {
 	return a.truncate(req, merged)
 }
 
-// truncate applies the distributed-scheduling cap: rank locally by load
-// (shortest queue, then highest power) and keep the best req.Limit entries.
+// truncate applies the distributed-scheduling cap: rank locally and keep the
+// best req.Limit entries. With CoRI forecasts the primary key is the
+// predicted drain time of each server's accepted work; servers without a
+// forecast fall back to queue length scaled by their last observed solve,
+// and a loaded server of entirely unknown speed sorts last — under
+// truncation the hierarchy prefers predictable servers.
 func (a *Agent) truncate(req CollectRequest, ests []scheduler.Estimate) []scheduler.Estimate {
 	sortEstimates(ests)
 	if req.Limit <= 0 || len(ests) <= req.Limit {
 		return ests
 	}
-	sort.SliceStable(ests, func(i, j int) bool {
+	drain := func(e scheduler.Estimate) float64 {
+		if d, trusted := e.TrustedDrainSeconds(scheduler.DefaultMinConfidence); trusted {
+			return d
+		}
+		pending := float64(e.QueueLen + e.Running)
+		if pending == 0 {
+			return 0
+		}
+		if e.LastSolveSeconds > 0 {
+			cap := float64(e.Capacity)
+			if cap < 1 {
+				cap = 1
+			}
+			return pending * e.LastSolveSeconds / cap
+		}
+		return math.Inf(1)
+	}
+	// Sort an index permutation so each drain key is computed exactly once.
+	drains := make([]float64, len(ests))
+	order := make([]int, len(ests))
+	for i := range ests {
+		drains[i] = drain(ests[i])
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if drains[i] != drains[j] {
+			return drains[i] < drains[j]
+		}
 		li := ests[i].QueueLen + ests[i].Running
 		lj := ests[j].QueueLen + ests[j].Running
 		if li != lj {
@@ -348,7 +381,11 @@ func (a *Agent) truncate(req CollectRequest, ests []scheduler.Estimate) []schedu
 		}
 		return ests[i].ServerID < ests[j].ServerID
 	})
-	ests = ests[:req.Limit]
+	kept := make([]scheduler.Estimate, req.Limit)
+	for k := 0; k < req.Limit; k++ {
+		kept[k] = ests[order[k]]
+	}
+	ests = kept
 	sortEstimates(ests)
 	return ests
 }

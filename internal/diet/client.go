@@ -155,6 +155,11 @@ func (c *Client) Call(p *Profile, opts ...CallOption) (*CallInfo, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	// The work hint rides the profile to the SeD for the CoRI monitor. Set
+	// unconditionally: a call without WithWork must ship 0 (unknown), not a
+	// stale hint from an earlier call reusing this profile, or the monitor
+	// would pair this solve's duration with the wrong work size.
+	p.WorkGFlops = o.workGFlops
 	t0 := time.Now()
 	reply, finding, err := c.Submit(p.Service, o.workGFlops)
 	if err != nil {

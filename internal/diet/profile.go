@@ -135,6 +135,10 @@ type Profile struct {
 	Service                    string
 	LastIn, LastInOut, LastOut int
 	Args                       []Arg
+	// WorkGFlops is the client's work estimate for this call (0 = unknown).
+	// It travels to the SeD so the CoRI monitor can pair each observed solve
+	// duration with its work size and fit a duration-vs-work model.
+	WorkGFlops float64
 }
 
 // NewProfile allocates a profile for the named service with the DIET index

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cori"
 	"repro/internal/naming"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
@@ -41,6 +42,10 @@ type SeDConfig struct {
 	ListenAddr  string  // TCP listen address when Local is false ("" = :0)
 	Executor    Executor
 	Events      EventSink // optional LogService-style monitoring sink
+	// CoRI tunes the resource-information monitor every SeD hosts (window
+	// size, EWMA weight, staleness half-life, injectable clock). The zero
+	// value selects the cori package defaults.
+	CoRI cori.Config
 }
 
 // solveTiming is returned to the client alongside the solved profile so the
@@ -82,6 +87,8 @@ type SeD struct {
 	services  map[string]serviceEntry
 	dataStore map[string][]byte // persistent data, by DataID
 
+	monitor *cori.Monitor
+
 	jobs     chan *sedJob
 	slots    chan struct{}
 	stop     chan struct{}
@@ -90,6 +97,7 @@ type SeD struct {
 	statMu     sync.Mutex
 	queued     int
 	running    int
+	pending    map[string]int // accepted-but-unfinished solves, by service
 	lastSolveS float64
 	solved     int
 	busySecs   float64
@@ -115,12 +123,14 @@ func NewSeD(cfg SeDConfig) (*SeD, error) {
 	}
 	s := &SeD{
 		cfg:       cfg,
+		monitor:   cori.NewMonitor(cfg.CoRI),
 		server:    rpc.NewServer(),
 		services:  make(map[string]serviceEntry),
 		dataStore: make(map[string][]byte),
 		jobs:      make(chan *sedJob, 16384),
 		slots:     make(chan struct{}, cfg.Capacity),
 		stop:      make(chan struct{}),
+		pending:   make(map[string]int),
 	}
 	for i := 0; i < cfg.Capacity; i++ {
 		s.slots <- struct{}{}
@@ -223,26 +233,38 @@ func (s *SeD) dispatch() {
 	}
 }
 
-// Estimate builds this SeD's estimation vector for a service.
+// Monitor exposes the SeD's CoRI resource monitor (for tests and tools).
+func (s *SeD) Monitor() *cori.Monitor { return s.monitor }
+
+// Estimate builds this SeD's estimation vector for a service, including the
+// CoRI forecast extension when the monitor has history for it.
 func (s *SeD) Estimate(service string) EstimateReply {
 	s.mu.Lock()
 	_, ok := s.services[service]
 	s.mu.Unlock()
 	s.statMu.Lock()
-	defer s.statMu.Unlock()
-	return EstimateReply{
-		OK: ok,
-		Est: scheduler.Estimate{
-			ServerID:         s.cfg.Name,
-			Service:          service,
-			Capacity:         s.cfg.Capacity,
-			Running:          s.running,
-			QueueLen:         s.queued,
-			PowerGFlops:      s.cfg.PowerGFlops,
-			FreeMemMB:        s.cfg.MemMB,
-			LastSolveSeconds: s.lastSolveS,
-		},
+	running, queued, lastSolve := s.running, s.queued, s.lastSolveS
+	pending := make(map[string]int, len(s.pending))
+	for svc, n := range s.pending {
+		pending[svc] = n
 	}
+	s.statMu.Unlock()
+	est := scheduler.Estimate{
+		ServerID:         s.cfg.Name,
+		Service:          service,
+		Capacity:         s.cfg.Capacity,
+		Running:          running,
+		QueueLen:         queued,
+		PowerGFlops:      s.cfg.PowerGFlops,
+		FreeMemMB:        s.cfg.MemMB,
+		LastSolveSeconds: lastSolve,
+	}
+	if model, okM := s.monitor.Model(service); okM {
+		// Drain priced per pending service: five queued hour-long solves of
+		// another service must not be forecast at this service's EWMA.
+		model.ApplyToEstimate(&est, s.monitor.DrainSeconds(pending, model, s.cfg.Capacity))
+	}
+	return EstimateReply{OK: ok, Est: est}
 }
 
 // Solve queues the profile, waits for a slot, runs the solve function and
@@ -262,13 +284,16 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	enq := time.Now()
 	job := &sedJob{grant: make(chan struct{})}
 	s.statMu.Lock()
+	depthAtAdmission := s.queued + s.running
 	s.queued++
+	s.pending[p.Service]++
 	s.statMu.Unlock()
 	select {
 	case s.jobs <- job:
 	default:
 		s.statMu.Lock()
 		s.queued--
+		s.pending[p.Service]--
 		s.statMu.Unlock()
 		return nil, fmt.Errorf("diet: SeD %s queue full", s.cfg.Name)
 	}
@@ -286,6 +311,10 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	end := time.Now()
 	s.statMu.Lock()
 	s.running--
+	s.pending[p.Service]--
+	if s.pending[p.Service] <= 0 {
+		delete(s.pending, p.Service)
+	}
 	s.lastSolveS = end.Sub(start).Seconds()
 	s.solved++
 	s.busySecs += end.Sub(start).Seconds()
@@ -296,6 +325,14 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	if err != nil {
 		return nil, fmt.Errorf("diet: solve %s on %s: %w", p.Service, s.cfg.Name, err)
 	}
+	// Feed the CoRI monitor so the next Estimate carries a fitted forecast.
+	// Failed solves are excluded: their durations do not predict service time.
+	s.monitor.Observe(cori.Sample{
+		Service:    p.Service,
+		WorkGFlops: p.WorkGFlops,
+		Duration:   end.Sub(start),
+		QueueDepth: depthAtAdmission,
+	})
 	s.storePersistent(p)
 	return &SolveReply{
 		Profile: p,

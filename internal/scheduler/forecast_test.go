@@ -1,0 +1,178 @@
+package scheduler
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// withForecast marks an estimate as carrying a fitted model that predicts
+// durations from a measured throughput of gflops.
+func withForecast(e Estimate, measuredGFlops float64, samples int) Estimate {
+	e.HasForecast = true
+	e.ForecastSamples = samples
+	e.ForecastPerGFlopS = 1 / measuredGFlops
+	e.EWMASolveSeconds = 1000 / measuredGFlops
+	e.ForecastConfidence = 1
+	return e
+}
+
+func TestForecastSolveSeconds(t *testing.T) {
+	var e Estimate
+	if got := e.ForecastSolveSeconds(1000); got >= 0 {
+		t.Fatalf("no forecast must predict negative, got %g", got)
+	}
+	e = withForecast(e, 50, 10)
+	if got := e.ForecastSolveSeconds(1000); got != 20 {
+		t.Fatalf("ForecastSolveSeconds(1000) = %g, want 20", got)
+	}
+	// Unknown work size falls back to the EWMA.
+	if got := e.ForecastSolveSeconds(0); got != e.EWMASolveSeconds {
+		t.Fatalf("zero-work forecast = %g, want the EWMA %g", got, e.EWMASolveSeconds)
+	}
+	// A slope-free model (constant-time service) answers with the EWMA too.
+	e.ForecastPerGFlopS = 0
+	if got := e.ForecastSolveSeconds(1000); got != e.EWMASolveSeconds {
+		t.Fatalf("slope-free forecast = %g, want the EWMA %g", got, e.EWMASolveSeconds)
+	}
+}
+
+func TestForecastAwareDegradesToPowerAware(t *testing.T) {
+	// No server has history: ForecastAware and ContentionAware must produce
+	// exactly PowerAware's ranking (the graceful-degradation contract).
+	e := ests(5)
+	e[1].QueueLen = 3
+	e[3].QueueLen = 1
+	req := Request{Service: "svc", WorkGFlops: 5000}
+	want := NewPowerAware().Rank(req, e)
+	for _, p := range []Policy{NewForecastAware(), NewContentionAware()} {
+		got := p.Rank(req, e)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s without history ranked %v, want PowerAware's %v", p.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestForecastAwareTrustsMeasurementOverAdvertisement(t *testing.T) {
+	// A advertises 100 GFlops but measures 10; B advertises 10 but measures
+	// 100. PowerAware is fooled; ForecastAware must pick B.
+	e := ests(2)
+	e[0].PowerGFlops = 100
+	e[0] = withForecast(e[0], 10, 20)
+	e[1].PowerGFlops = 10
+	e[1] = withForecast(e[1], 100, 20)
+	req := Request{Service: "svc", WorkGFlops: 1000}
+	if got := NewPowerAware().Rank(req, e); e[got[0]].ServerID != "A" {
+		t.Fatalf("precondition: PowerAware should be fooled into A, got %s", e[got[0]].ServerID)
+	}
+	for _, p := range []Policy{NewForecastAware(), NewContentionAware()} {
+		if got := p.Rank(req, e); e[got[0]].ServerID != "B" {
+			t.Fatalf("%s picked %s, want the measured-fast B", p.Name(), e[got[0]].ServerID)
+		}
+	}
+}
+
+func TestForecastAwareStaleModelFallsBack(t *testing.T) {
+	// The lying-but-stale server: its flattering model has decayed below the
+	// confidence floor, so the advertised powers decide again.
+	e := ests(2)
+	e[0].PowerGFlops = 100
+	e[1].PowerGFlops = 10
+	e[1] = withForecast(e[1], 1000, 5)
+	e[1].ForecastConfidence = 0.01 // below the default 0.05 floor
+	f := NewForecastAware()
+	if got := f.Rank(Request{WorkGFlops: 1000}, e); e[got[0]].ServerID != "A" {
+		t.Fatalf("stale forecast must be ignored: picked %s, want A", e[got[0]].ServerID)
+	}
+	e[1].ForecastConfidence = 1
+	if got := f.Rank(Request{WorkGFlops: 1000}, e); e[got[0]].ServerID != "B" {
+		t.Fatalf("fresh forecast must win: picked %s, want B", e[got[0]].ServerID)
+	}
+}
+
+func TestContentionAwareUsesPendingWorkForecast(t *testing.T) {
+	// Equal measured speed; A's short queue hides one huge job
+	// (PendingWorkSeconds large), B's longer queue holds tiny jobs.
+	// Queue-length heuristics pick A; the drain forecast must pick B.
+	e := ests(2)
+	e[0] = withForecast(e[0], 50, 10)
+	e[0].QueueLen = 1
+	e[0].PendingWorkSeconds = 10000
+	e[1] = withForecast(e[1], 50, 10)
+	e[1].QueueLen = 3
+	e[1].PendingWorkSeconds = 30
+	req := Request{WorkGFlops: 1000}
+	if got := NewForecastAware().Rank(req, e); e[got[0]].ServerID != "A" {
+		t.Fatalf("precondition: queue-length ranking should pick A, got %s", e[got[0]].ServerID)
+	}
+	if got := NewContentionAware().Rank(req, e); e[got[0]].ServerID != "B" {
+		t.Fatalf("ContentionAware picked %s, want the fast-draining B", e[got[0]].ServerID)
+	}
+}
+
+func TestForecastSimulatedBurst(t *testing.T) {
+	// 60-request burst over servers whose advertised powers are all equal
+	// but whose measured speeds differ 3×: ForecastAware must give the
+	// genuinely fast servers about 3× the work.
+	p := NewForecastAware()
+	e := ests(4)
+	for i := range e {
+		e[i].PowerGFlops = 20
+	}
+	e[0] = withForecast(e[0], 10, 30)
+	e[1] = withForecast(e[1], 10, 30)
+	e[2] = withForecast(e[2], 30, 30)
+	e[3] = withForecast(e[3], 30, 30)
+	counts := make(map[string]int)
+	for i := 0; i < 80; i++ {
+		order := p.Rank(Request{WorkGFlops: 100}, e)
+		counts[e[order[0]].ServerID]++
+		e[order[0]].QueueLen++
+	}
+	if counts["C"] != 30 || counts["D"] != 30 || counts["A"] != 10 || counts["B"] != 10 {
+		t.Errorf("measured-speed-proportional shares want 10/10/30/30, got %v", counts)
+	}
+}
+
+func TestForecastPoliciesPermutationProperty(t *testing.T) {
+	policies := []Policy{NewForecastAware(), NewContentionAware()}
+	f := func(nServers uint8, queueLens []uint8, samples []uint8) bool {
+		n := int(nServers%12) + 1
+		e := ests(n)
+		for i := range e {
+			if i < len(queueLens) {
+				e[i].QueueLen = int(queueLens[i] % 50)
+			}
+			if i < len(samples) && samples[i]%2 == 0 {
+				e[i] = withForecast(e[i], float64(samples[i]%40)+1, int(samples[i]))
+			}
+		}
+		for _, p := range policies {
+			if !isPermutation(p.Rank(Request{Service: "svc", WorkGFlops: 100}, e), n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByNameForecastPolicies(t *testing.T) {
+	for name, want := range map[string]string{
+		"forecastaware":   "forecastaware",
+		"forecast":        "forecastaware",
+		"contentionaware": "contentionaware",
+		"contention":      "contentionaware",
+	} {
+		p, err := ByName(name, 1)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("ByName(%q) = %s, want %s", name, p.Name(), want)
+		}
+	}
+}

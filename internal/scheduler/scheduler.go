@@ -24,6 +24,50 @@ type Estimate struct {
 	PowerGFlops      float64 // advertised processing power
 	FreeMemMB        float64
 	LastSolveSeconds float64 // duration of the last completed solve; <0 if none yet
+
+	// CoRI/FAST forecast extension (internal/cori). The zero value means the
+	// server runs no forecaster; policies must then fall back to the static
+	// fields above.
+	HasForecast        bool
+	ForecastSamples    int     // solves the model was fitted on
+	EWMASolveSeconds   float64 // exponentially weighted recent solve duration
+	ForecastBaseS      float64 // least-squares intercept, seconds
+	ForecastPerGFlopS  float64 // least-squares slope, seconds per GFlop (0 = no fit)
+	ForecastConfidence float64 // (0,1]; decays as the history goes stale
+	PendingWorkSeconds float64 // predicted time to drain running+queued work
+}
+
+// DefaultMinConfidence is the staleness floor shared by the forecast-aware
+// policies and the agent-side truncation: models whose confidence has
+// decayed below it are ignored in favour of the static fields, so every
+// layer of the stack agrees on which models are trusted.
+const DefaultMinConfidence = 0.05
+
+// TrustedDrainSeconds returns the forecast drain time of the server's
+// accepted work when the estimate carries a model trusted at minConfidence;
+// ok is false when the caller must fall back to its own queue-based
+// approximation.
+func (e Estimate) TrustedDrainSeconds(minConfidence float64) (float64, bool) {
+	if !e.HasForecast || e.ForecastSamples == 0 ||
+		e.ForecastConfidence < minConfidence || e.PendingWorkSeconds < 0 {
+		return 0, false
+	}
+	return e.PendingWorkSeconds, true
+}
+
+// ForecastSolveSeconds predicts how long work GFlops would take on this
+// server using the forecast extension; it returns a negative value when the
+// estimate carries no usable forecast.
+func (e Estimate) ForecastSolveSeconds(workGFlops float64) float64 {
+	if !e.HasForecast || e.ForecastSamples == 0 {
+		return -1
+	}
+	if workGFlops > 0 && e.ForecastPerGFlopS > 0 {
+		if p := e.ForecastBaseS + e.ForecastPerGFlopS*workGFlops; p > 0 {
+			return p
+		}
+	}
+	return e.EWMASolveSeconds
 }
 
 // Request describes the work to place.
@@ -189,6 +233,10 @@ func ByName(name string, seed int64) (Policy, error) {
 		return NewMCT(), nil
 	case "poweraware", "plugin":
 		return NewPowerAware(), nil
+	case "forecastaware", "forecast":
+		return NewForecastAware(), nil
+	case "contentionaware", "contention":
+		return NewContentionAware(), nil
 	}
-	return nil, fmt.Errorf("scheduler: unknown policy %q (want roundrobin, random, mct or poweraware)", name)
+	return nil, fmt.Errorf("scheduler: unknown policy %q (want roundrobin, random, mct, poweraware, forecastaware or contentionaware)", name)
 }

@@ -6,7 +6,9 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/cori"
 	"repro/internal/platform"
 	"repro/internal/scheduler"
 )
@@ -51,6 +53,27 @@ type ExperimentConfig struct {
 	// all-at-once burst; Figure 6's latency growth is pure burst queueing,
 	// and spacing arrivals beyond the system's drain rate flattens it.
 	ArrivalGapS float64
+
+	// Forecast attaches a CoRI monitor (internal/cori) to every SeD, running
+	// in virtual time: completed solves train per-SeD duration models and
+	// every estimate carries the forecast extension, mirroring what
+	// diet.SeD.Estimate reports in the live middleware. Required for the
+	// forecastaware/contentionaware policies to see history.
+	Forecast bool
+	// Monitors optionally seeds per-SeD monitors (keyed by SeD name), so a
+	// campaign can start with models trained by an earlier run; monitors for
+	// missing names are created fresh. RunExperimentRounds uses this to
+	// carry learning across rounds. Implies monitors are rebound to this
+	// run's virtual clock.
+	Monitors map[string]*cori.Monitor
+	// CoRI tunes the monitors created by this run.
+	CoRI cori.Config
+	// TruePowerFactor skews each named SeD's *actual* compute speed to
+	// factor × its advertised power, modelling miscalibrated or degraded
+	// resources. Estimates still advertise the nominal power, so static
+	// power-aware scheduling is misled while the forecaster measures the
+	// truth. Missing names default to 1 (honest).
+	TruePowerFactor map[string]float64
 }
 
 // DefaultExperiment returns the configuration reproducing the paper run.
@@ -123,16 +146,21 @@ type ExperimentResult struct {
 // sedState is the simulator's view of one SeD.
 type sedState struct {
 	place     platform.SeDPlacement
-	queue     int     // waiting requests
-	running   int     // 0 or 1 (capacity 1, as in the paper)
-	freeAt    float64 // virtual time the current queue drains
-	lastSolve float64 // seconds; <0 until the SeD has completed a solve
+	truePower float64 // actual delivered GFlops (advertised × TruePowerFactor)
+	monitor   *cori.Monitor
+	pending   map[string]int // accepted-but-unfinished solves, by service
+	queue     int            // waiting requests
+	running   int            // 0 or 1 (capacity 1, as in the paper)
+	freeAt    float64        // virtual time the current queue drains
+	lastSolve float64        // seconds; <0 until the SeD has completed a solve
 	records   []RequestRecord
 }
 
-// estimate builds the scheduler's view of the SeD.
+// estimate builds the scheduler's view of the SeD, mirroring
+// diet.SeD.Estimate: static fields from the advertised configuration, and —
+// when a CoRI monitor is attached — the forecast extension from its model.
 func (s *sedState) estimate(service string) scheduler.Estimate {
-	return scheduler.Estimate{
+	est := scheduler.Estimate{
 		ServerID:         s.place.Name,
 		Service:          service,
 		Capacity:         1,
@@ -141,6 +169,12 @@ func (s *sedState) estimate(service string) scheduler.Estimate {
 		PowerGFlops:      s.place.PowerGFlops(),
 		LastSolveSeconds: s.lastSolve,
 	}
+	if s.monitor != nil {
+		if model, ok := s.monitor.Model(service); ok {
+			model.ApplyToEstimate(&est, s.monitor.DrainSeconds(s.pending, model, 1))
+		}
+	}
+	return est
 }
 
 // RunExperiment replays the campaign in virtual time and returns every
@@ -161,8 +195,27 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	seds := make([]*sedState, len(cfg.Deployment.SeDs))
 	byName := make(map[string]*sedState, len(seds))
 	for i, p := range cfg.Deployment.SeDs {
-		seds[i] = &sedState{place: p, lastSolve: -1}
+		truePower := p.PowerGFlops()
+		if f, ok := cfg.TruePowerFactor[p.Name]; ok && f > 0 {
+			truePower *= f
+		}
+		seds[i] = &sedState{place: p, truePower: truePower, lastSolve: -1, pending: make(map[string]int)}
 		byName[p.Name] = seds[i]
+		if cfg.Forecast {
+			if m := cfg.Monitors[p.Name]; m != nil {
+				m.SetNow(virtualClock(sim))
+				seds[i].monitor = m
+			} else {
+				mcfg := cfg.CoRI
+				mcfg.Now = virtualClock(sim)
+				seds[i].monitor = cori.NewMonitor(mcfg)
+				if cfg.Monitors != nil {
+					// Hand the trained monitor back so multi-round drivers
+					// and tests can carry or inspect it.
+					cfg.Monitors[p.Name] = seds[i].monitor
+				}
+			}
+		}
 	}
 	maSite := cfg.Deployment.MASite
 
@@ -207,9 +260,11 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		if cfg.BatchMode {
 			startS += cfg.BatchGrantS
 		}
-		durS := work / sed.place.PowerGFlops()
+		durS := work / sed.truePower
 		endS := startS + durS
+		depthAtAdmission := sed.queue + sed.running
 		sed.queue++
+		sed.pending[service]++
 		sed.freeAt = endS
 		rec := RequestRecord{
 			ID: id, SeD: sed.place.Name,
@@ -224,7 +279,19 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		})
 		sim.At(endS, func() {
 			sed.running--
+			sed.pending[service]--
+			if sed.pending[service] <= 0 {
+				delete(sed.pending, service)
+			}
 			sed.lastSolve = durS
+			if sed.monitor != nil {
+				sed.monitor.Observe(cori.Sample{
+					Service:    service,
+					WorkGFlops: work,
+					Duration:   time.Duration(durS * float64(time.Second)),
+					QueueDepth: depthAtAdmission,
+				})
+			}
 			sed.records = append(sed.records, rec)
 			onDone(rec)
 		})

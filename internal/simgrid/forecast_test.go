@@ -1,0 +1,160 @@
+package simgrid
+
+import (
+	"testing"
+
+	"repro/internal/cori"
+	"repro/internal/scheduler"
+)
+
+// TestForecastAwareBeatsRoundRobinFig5Platform is the acceptance gate for
+// the CoRI subsystem: on the paper's heterogeneous Figure-5 platform (11
+// SeDs, Nancy ≈ 64 GFlops down to Toulouse ≈ 45), the history-aware plug-in
+// must beat the default equal distribution the paper measured.
+func TestForecastAwareBeatsRoundRobinFig5Platform(t *testing.T) {
+	rr, err := RunExperiment(DefaultExperiment(scheduler.NewRoundRobin()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultExperiment(scheduler.NewForecastAware())
+	cfg.Forecast = true
+	fa, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.TotalS >= rr.TotalS {
+		t.Fatalf("forecastaware makespan %s must beat roundrobin %s",
+			Hours(fa.TotalS), Hours(rr.TotalS))
+	}
+	t.Logf("roundrobin %s → forecastaware %s (%.1f%% saved)",
+		Hours(rr.TotalS), Hours(fa.TotalS), 100*(rr.TotalS-fa.TotalS)/rr.TotalS)
+}
+
+// TestForecastEstimatesMirrorLiveSeD checks the simulator populates the same
+// forecast extension diet.SeD.Estimate does: after a campaign every SeD's
+// monitor holds per-service models whose measured throughput matches the
+// SeD's true delivered power.
+func TestForecastEstimatesMirrorLiveSeD(t *testing.T) {
+	cfg := DefaultExperiment(scheduler.NewRoundRobin())
+	cfg.Forecast = true
+	cfg.Monitors = make(map[string]*cori.Monitor)
+	if _, err := RunExperiment(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Monitors) != len(cfg.Deployment.SeDs) {
+		t.Fatalf("want a monitor per SeD, got %d of %d", len(cfg.Monitors), len(cfg.Deployment.SeDs))
+	}
+	for _, p := range cfg.Deployment.SeDs {
+		m := cfg.Monitors[p.Name]
+		model, ok := m.Model("ramsesZoom2")
+		if !ok {
+			t.Fatalf("%s: no model despite completed solves", p.Name)
+		}
+		if model.Samples < 1 {
+			t.Fatalf("%s: no samples", p.Name)
+		}
+		// Work jitter gives the regression spread; the measured throughput
+		// must land on the true power (honest platform: the advertised one).
+		if model.MeasuredGFlops > 0 {
+			rel := model.MeasuredGFlops/p.PowerGFlops() - 1
+			if rel < -0.05 || rel > 0.05 {
+				t.Errorf("%s: measured %.1f GFlops, true %.1f", p.Name, model.MeasuredGFlops, p.PowerGFlops())
+			}
+		}
+		if model.Confidence <= 0 || model.Confidence > 1 {
+			t.Errorf("%s: confidence %g out of range", p.Name, model.Confidence)
+		}
+	}
+}
+
+// TestForecastLearnsMiscalibratedPower is the experiment the subsystem
+// exists for: several SeDs deliver a fraction of their advertised power
+// (miscalibration the paper's static deployment cannot see). PowerAware is
+// misled and does worse than round-robin; the forecaster measures the truth
+// during round one and the trained forecast-aware rounds recover most of the
+// loss.
+func TestForecastLearnsMiscalibratedPower(t *testing.T) {
+	mk := func(p scheduler.Policy) ExperimentConfig {
+		cfg := DefaultExperiment(p)
+		cfg.TruePowerFactor = CanonicalSkew
+		return cfg
+	}
+	rr, err := RunExperiment(mk(scheduler.NewRoundRobin()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := RunExperiment(mk(scheduler.NewPowerAware()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := RunExperimentRounds(mk(scheduler.NewForecastAware()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, trained := rounds[0], rounds[1]
+	t.Logf("skewed platform: rr %s, poweraware %s, forecast cold %s, trained %s",
+		Hours(rr.TotalS), Hours(pa.TotalS), Hours(cold.TotalS), Hours(trained.TotalS))
+	if pa.TotalS <= rr.TotalS {
+		t.Fatalf("precondition: miscalibration must mislead poweraware (pa %s vs rr %s)",
+			Hours(pa.TotalS), Hours(rr.TotalS))
+	}
+	if trained.TotalS >= rr.TotalS {
+		t.Fatalf("trained forecastaware %s must beat roundrobin %s", Hours(trained.TotalS), Hours(rr.TotalS))
+	}
+	if trained.TotalS >= 0.75*cold.TotalS {
+		t.Fatalf("training must recover the miscalibration loss: cold %s → trained %s",
+			Hours(cold.TotalS), Hours(trained.TotalS))
+	}
+}
+
+// TestRunForecastAblation exercises the five-arm comparison helper that
+// BenchmarkAblationForecast and cmd/experiment report.
+func TestRunForecastAblation(t *testing.T) {
+	res, err := RunForecastAblation(func() ExperimentConfig {
+		cfg := DefaultExperiment(nil)
+		cfg.Policy = scheduler.NewRoundRobin() // placeholder; overridden per arm
+		cfg.NRequests = 40
+		return cfg
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*ExperimentResult{
+		"roundrobin": res.RoundRobin, "poweraware": res.PowerAware,
+		"cold": res.ForecastCold, "trained": res.ForecastTrained, "contention": res.Contention,
+		"skew-rr": res.SkewRoundRobin, "skew-pa": res.SkewPowerAware, "skew-trained": res.SkewTrained,
+	} {
+		if r == nil || len(r.Records) != 40 {
+			t.Fatalf("arm %s incomplete", name)
+		}
+	}
+	if res.ForecastTrained.TotalS > res.RoundRobin.TotalS {
+		t.Fatalf("trained forecastaware %s must not lose to roundrobin %s",
+			Hours(res.ForecastTrained.TotalS), Hours(res.RoundRobin.TotalS))
+	}
+	if res.ImprovementPct() <= 0 {
+		t.Fatalf("improvement %.2f%% must be positive", res.ImprovementPct())
+	}
+	if res.ForecastGainPct() <= 0 {
+		t.Fatalf("forecast gain %.2f%% on the miscalibrated platform must be positive", res.ForecastGainPct())
+	}
+}
+
+// TestRoundsCarryMonitors checks history actually accumulates across rounds.
+func TestRoundsCarryMonitors(t *testing.T) {
+	cfg := DefaultExperiment(scheduler.NewForecastAware())
+	cfg.NRequests = 10
+	cfg.Monitors = make(map[string]*cori.Monitor)
+	if _, err := RunExperimentRounds(cfg, 3); err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, m := range cfg.Monitors {
+		if model, ok := m.Model("ramsesZoom2"); ok {
+			total += model.Samples
+		}
+	}
+	if total != 30 {
+		t.Fatalf("3 rounds × 10 requests must leave 30 samples across monitors, got %d", total)
+	}
+}
