@@ -3,8 +3,15 @@
 // shell commands that bring the hierarchy up with dietagent/dietsed, and the
 // wide-area cost comparison against a naive flat hierarchy.
 //
+// With -replan it closes the forecast loop: it trains per-SeD CoRI monitors
+// by simulating -train-rounds campaigns (optionally on the canonical
+// miscalibrated platform with -skew), re-plans from the measured delivered
+// powers, and prints which placements changed — the deployment the launch
+// commands then advertise.
+//
 //	deployplan -naming ma-host:9001
 //	deployplan -flat            # show the naive plan instead
+//	deployplan -replan -skew    # measured-power plan after simulated training
 package main
 
 import (
@@ -12,25 +19,49 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/cori"
 	"repro/internal/deploy"
 	"repro/internal/platform"
+	"repro/internal/scheduler"
+	"repro/internal/simgrid"
 )
 
 func main() {
 	var (
 		namingAddr = flag.String("naming", "127.0.0.1:9001", "naming service host:port")
 		flat       = flag.Bool("flat", false, "plan a flat single-LA hierarchy instead")
+		replan     = flag.Bool("replan", false, "train CoRI monitors in simulation and plan from measured powers")
+		skew       = flag.Bool("skew", false, "with -replan: train on the canonical miscalibrated platform")
+		rounds     = flag.Int("train-rounds", 1, "with -replan: simulated training campaigns")
 	)
 	flag.Parse()
 
 	dep := platform.PaperDeployment()
 	plat := platform.Grid5000()
 
-	topo, err := deploy.Topology(dep)
-	if err != nil {
-		log.Fatal(err)
+	opts := deploy.Options{}
+	var topo *deploy.Plan
+	var changes []deploy.Change
+	var err error
+	if *replan {
+		monitors, err := trainMonitors(dep, *rounds, *skew)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Capabilities = deploy.MonitorSource(monitors, "ramsesZoom2")
+		// Replan returns the measured topology plan itself, so the printed
+		// plan is exactly the one the change list was diffed from.
+		topo, changes, err = deploy.Replan(dep, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		topo, err = deploy.TopologyWith(dep, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	flatPlan, err := deploy.Flat(dep)
+	flatPlan, err := deploy.FlatWith(dep, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,6 +71,9 @@ func main() {
 		plan = flatPlan
 		label = "flat (naive baseline)"
 	}
+	if *replan {
+		label += ", measured-power placement"
+	}
 
 	fmt.Printf("deployment plan: %s\n", label)
 	fmt.Printf("  components: 1 MA + %d LAs + %d SeDs (+ naming)\n", len(plan.LAs), len(plan.SeDs))
@@ -47,7 +81,53 @@ func main() {
 		plan.WANMessagesPerRequest(), flatPlan.WANMessagesPerRequest())
 	fmt.Printf("  estimate-collection latency bound: %.1f ms\n\n", 1000*plan.CollectLatency(plat))
 
+	if *replan {
+		advertised := make(map[string]float64, len(dep.SeDs))
+		for _, p := range dep.SeDs {
+			advertised[p.Name] = p.PowerGFlops()
+		}
+		fmt.Printf("measured-power replan after %d training campaign(s):\n", *rounds)
+		fmt.Println("  SeD          advertised  measured  confidence  effective")
+		for _, s := range plan.SeDs {
+			measured, conf := "       -", "    -"
+			if s.MeasuredGFlops > 0 {
+				measured = fmt.Sprintf("%8.1f", s.MeasuredGFlops)
+				conf = fmt.Sprintf("%5.2f", s.Confidence)
+			}
+			fmt.Printf("  %-12s %10.1f  %s  %10s  %9.1f\n", s.Name, advertised[s.Name], measured, conf, s.Power)
+		}
+		if len(changes) == 0 {
+			fmt.Println("  no placements would change")
+		} else {
+			fmt.Println("  placements that change:")
+			for _, c := range changes {
+				fmt.Printf("    %s\n", c)
+			}
+		}
+		fmt.Println()
+	}
+
 	for _, cmd := range plan.Commands(*namingAddr) {
 		fmt.Println(cmd)
 	}
+}
+
+// trainMonitors runs simulated campaigns to give every SeD's monitor the
+// solve history a real observing night would leave behind.
+func trainMonitors(dep platform.Deployment, rounds int, skew bool) (map[string]*cori.Monitor, error) {
+	cfg := simgrid.DefaultExperiment(scheduler.NewPowerAware())
+	cfg.Deployment = dep
+	cfg.Forecast = true
+	cfg.CoRI.HalfLife = simgrid.TrainingHalfLife
+	cfg.Monitors = make(map[string]*cori.Monitor, len(dep.SeDs))
+	if skew {
+		cfg.TruePowerFactor = simgrid.CanonicalSkew
+	}
+	for r := 0; r < rounds; r++ {
+		cfg.Seed = 1000 + int64(r)
+		if _, err := simgrid.RunExperiment(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return cfg.Monitors, nil
 }

@@ -9,6 +9,7 @@
 //	experiment -compare                  # round-robin vs the plug-in schedulers
 //	experiment -forecast -scheduler forecastaware   # CoRI monitors on every SeD
 //	experiment -forecast-ablation        # A5: cold vs trained forecasting arms
+//	experiment -deploy-ablation          # A6: measured-power planning + forecast-sized reservations
 package main
 
 import (
@@ -33,13 +34,17 @@ func main() {
 		compare    = flag.Bool("compare", false, "run the scheduler ablation (A1)")
 		batch      = flag.Bool("batch", false, "route solves through OAR-style reservations (A3)")
 		grantS     = flag.Float64("batch-grant", 30, "reservation grant delay, seconds")
+		batchWall  = flag.Float64("batch-wall", 7200, "fixed reservation walltime, seconds; overruns are killed and requeued (0 = unbounded)")
+		batchFc    = flag.Bool("batch-forecast", false, "size each reservation's walltime from the SeD's CoRI forecast (implies -batch and -forecast)")
 		sweep      = flag.Bool("sweep", false, "run the capacity/workload scaling sweeps (A4)")
 		arrivalGap = flag.Float64("arrival-gap", 0, "seconds between phase-2 submissions (0 = the paper's burst)")
 		forecast   = flag.Bool("forecast", false, "attach a CoRI monitor to every SeD (history for forecastaware/contentionaware)")
 		fcAblation = flag.Bool("forecast-ablation", false, "run the forecasting ablation (A5): static vs cold vs trained scheduling")
+		dpAblation = flag.Bool("deploy-ablation", false, "run the deployment+reservation ablation (A6): static plan + fixed grants vs measured-power plan + forecast-sized walltimes")
+		rounds     = flag.Int("rounds", 2, "campaigns per trained arm in the ablations (rounds-1 train, the last measures)")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation {
+	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation {
 		*all = true
 	}
 
@@ -51,10 +56,12 @@ func main() {
 		cfg := simgrid.DefaultExperiment(pol)
 		cfg.NRequests = *requests
 		cfg.Seed = *seed
-		cfg.BatchMode = *batch
+		cfg.BatchMode = *batch || *batchFc // forecast-sized walltimes need reservations on
 		cfg.BatchGrantS = *grantS
+		cfg.BatchFixedWallS = *batchWall
+		cfg.BatchForecast = *batchFc
 		cfg.ArrivalGapS = *arrivalGap
-		cfg.Forecast = *forecast || name == "forecastaware" || name == "contentionaware"
+		cfg.Forecast = *forecast || *batchFc || name == "forecastaware" || name == "contentionaware"
 		res, err := simgrid.RunExperiment(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -99,9 +106,10 @@ func main() {
 			cfg.Seed = *seed
 			cfg.BatchMode = *batch
 			cfg.BatchGrantS = *grantS
+			cfg.BatchFixedWallS = *batchWall
 			cfg.ArrivalGapS = *arrivalGap
 			return cfg
-		}, 2)
+		}, *rounds)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -123,6 +131,41 @@ func main() {
 		row("forecast (trained)", res.SkewTrained)
 		fmt.Printf("  → measuring speed instead of trusting it saves %.1f%% over the misled static plug-in\n",
 			res.ForecastGainPct())
+		return
+	}
+
+	if *dpAblation {
+		fmt.Println("Ablation A6 — static planning + fixed grants vs measured-power planning + forecast-sized reservations:")
+		res, err := simgrid.RunDeployAblation(func() simgrid.ExperimentConfig {
+			cfg := simgrid.DefaultExperiment(nil)
+			cfg.NRequests = *requests
+			cfg.Seed = *seed
+			cfg.BatchGrantS = *grantS
+			cfg.BatchFixedWallS = *batchWall
+			cfg.ArrivalGapS = *arrivalGap
+			return cfg
+		}, *rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := func(name string, r *simgrid.ExperimentResult) {
+			fmt.Printf("  %-28s makespan %s (%.2fh)  kills %3d  requeues %3d  idle pad %6.1fh  wasted %6.1fh\n",
+				name, simgrid.Hours(r.TotalS), r.MakespanHours(),
+				r.Batch.OverrunKills, r.Batch.Requeues,
+				r.Batch.IdlePadS/3600, r.Batch.WastedS/3600)
+		}
+		row("honest / static plan", res.Honest)
+		fmt.Println(" miscalibrated platform (Nancy delivers 35%, Sophia1 50% of advertised):")
+		row("static plan + fixed grants", res.Static)
+		row("measured plan + forecasts", res.Trained)
+		fmt.Printf("  → closing the forecast loop saves %.1f%% makespan and %.1f%% overrun+pad cost\n",
+			res.MakespanGainPct(), res.ReservationGainPct())
+		if len(res.Changes) > 0 {
+			fmt.Printf("  replanned placements (after %d training round(s)):\n", res.Rounds-1)
+			for _, c := range res.Changes {
+				fmt.Printf("    %s\n", c)
+			}
+		}
 		return
 	}
 

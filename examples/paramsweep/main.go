@@ -1,13 +1,16 @@
 // Paramsweep explores "new research axes in cosmological simulations (on
 // various low resolutions initial conditions)" — the use case the paper's
 // conclusion names. It sweeps the σ₈ normalisation and the random seed over
-// a heterogeneous pool of SeDs with the contention-aware plug-in scheduler.
-// The sweep submits as one burst, so placement is scheduled cold and the
-// policy degrades to its power-aware fallback; meanwhile every SeD's CoRI
-// monitor records the solves, and the run ends by printing the measured
-// models a follow-up sweep (or any later client) would be scheduled on. It
-// reports how structure formation responds (halo counts at z=0) together
-// with the load balance achieved.
+// a pool of SeDs whose *advertised* powers differ with the contention-aware
+// plug-in scheduler. The sweep submits as one burst, so placement is
+// scheduled cold and the policy degrades to its power-aware fallback;
+// meanwhile every SeD's CoRI monitor records the solves. The run ends by
+// closing the forecast loop the way a follow-up sweep would: it prints the
+// measured models, the measured-power replan (deploy.Replan — in-process
+// the pool delivers *homogeneous* throughput, so the advertised ranking is
+// flattened), and the forecast-sized batch walltime each SeD would reserve
+// instead of a fixed grant. It reports how structure formation responds
+// (halo counts at z=0) together with the load balance achieved.
 //
 //	go run ./examples/paramsweep
 package main
@@ -19,11 +22,20 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/cori"
+	"repro/internal/deploy"
 	"repro/internal/halo"
+	"repro/internal/platform"
 	"repro/internal/ramses"
 	"repro/internal/services"
 )
+
+// sweepWorkGFlops is the nominal work estimate of one sweep point (16³
+// particles, 6 steps); the absolute scale only anchors the measured
+// throughput units, consistency across points is what the models need.
+const sweepWorkGFlops = 2.0
 
 func main() {
 	base, err := os.MkdirTemp("", "paramsweep-")
@@ -97,7 +109,9 @@ func main() {
 			log.Fatal(err)
 		}
 		profiles[i] = p
-		calls[i] = client.CallAsync(p)
+		// The work hint rides the profile to the SeD, so the CoRI monitors
+		// can pair durations with a work size and measure delivered power.
+		calls[i] = client.CallAsync(p, core.WithWork(sweepWorkGFlops))
 	}
 	if err := core.WaitAll(calls); err != nil {
 		log.Fatal(err)
@@ -144,11 +158,51 @@ func main() {
 	// The CoRI models trained by this burst — what a follow-up sweep would
 	// actually be scheduled on, in place of the advertised powers above.
 	fmt.Println("\nCoRI models learned during the sweep (EST_* metrics):")
+	monitors := make(map[string]*cori.Monitor, len(deployment.SeDs))
 	for _, sed := range deployment.SeDs {
+		monitors[sed.Name()] = sed.Monitor()
 		for _, svc := range sed.Monitor().Services() {
 			met := sed.Monitor().Metrics(svc)
-			fmt.Printf("  %-6s %s: %2.0f solves, EWMA %.2fs, confidence %.2f\n",
-				sed.Name(), svc, met["EST_NBSAMPLES"], met["EST_TCOMP"], met["EST_CONFIDENCE"])
+			fmt.Printf("  %-6s %s: %2.0f solves, EWMA %.2fs, delivered %.1f GFlops, confidence %.2f\n",
+				sed.Name(), svc, met["EST_NBSAMPLES"], met["EST_TCOMP"], met["EST_DELIVERED"], met["EST_CONFIDENCE"])
 		}
+	}
+
+	// Close the loop at the planning layer: re-plan the pool from measured
+	// powers. In-process every SeD runs on the same machine, so the
+	// heterogeneous advertisement is a lie the replan corrects.
+	svcName := services.Zoom1Desc().Service
+	pool := platform.Deployment{MASite: "local"}
+	for i, p := range powers {
+		pool.SeDs = append(pool.SeDs, platform.SeDPlacement{
+			Name: fmt.Sprintf("SeD%d", i+1), Site: "local", Cluster: "pool",
+			Machines: 1, CPU: platform.CPU{Model: "pool", GFlops: p / 0.7},
+		})
+	}
+	_, changes, err := deploy.Replan(pool, deploy.Options{
+		Capabilities: deploy.MonitorSource(monitors, svcName),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmeasured-power replan a follow-up sweep would deploy on:")
+	if len(changes) == 0 {
+		fmt.Println("  no placements change")
+	}
+	for _, c := range changes {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// And at the reservation layer: the walltime a follow-up solve would
+	// reserve on each SeD — forecast-sized instead of a fixed grant.
+	pol := batch.WalltimePolicy{Fixed: time.Hour}
+	fmt.Printf("\nforecast-sized reservations for the next solve (fixed grant %v):\n", pol.Fixed)
+	for _, sed := range deployment.SeDs {
+		wall, sized := pol.Size(sed.Monitor(), svcName, sweepWorkGFlops)
+		how := "forecast-sized"
+		if !sized {
+			how = "fixed fallback"
+		}
+		fmt.Printf("  %-6s walltime %8v (%s)\n", sed.Name(), wall.Round(time.Millisecond), how)
 	}
 }

@@ -3,15 +3,29 @@
 // conservative backfilling, and run when their reservation starts. The paper
 // names "transparent reservations of the resources on batch systems like
 // OAR" as the DIET batch-system integration (§8); this package provides that
-// substrate plus the Executor adapter a SeD plugs in.
+// substrate plus the Executor adapters a SeD plugs in.
+//
+// Walltimes can be enforced (Config.EnforceWalltime): a job still running
+// when its grant expires is killed, the way OAR reclaims a reservation. That
+// makes walltime sizing a real trade-off — too short and the job is killed
+// and must requeue, too long and the reservation pads idle — which
+// WalltimePolicy resolves by sizing each grant from the SeD's CoRI duration
+// forecast plus a confidence-scaled margin, falling back to a fixed grant
+// while the monitor is cold. ForecastExecutor wires that policy into
+// diet.SeD solves and tracks the overrun-kill and idle-pad metrics.
 package batch
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 )
+
+// ErrWalltime reports a job killed because its script outlived its
+// reservation (EnforceWalltime).
+var ErrWalltime = errors.New("batch: walltime exceeded")
 
 // JobState is the lifecycle state of a batch job.
 type JobState int
@@ -54,6 +68,7 @@ type Job struct {
 	submit   time.Time
 	start    time.Time
 	end      time.Time
+	watchdog *time.Timer // walltime kill timer (EnforceWalltime); guarded by mu
 	finished chan struct{}
 }
 
@@ -88,6 +103,12 @@ type Config struct {
 	// when it fits in the currently free nodes without delaying the head job
 	// (using walltime as the head job's runtime bound).
 	Backfill bool
+	// EnforceWalltime kills a job whose script is still running when its
+	// walltime expires: the job fails with ErrWalltime and its nodes are
+	// reclaimed. The script's goroutine cannot be interrupted from outside,
+	// so it keeps running to completion with its result discarded — scripts
+	// that hold external resources should watch for cancellation themselves.
+	EnforceWalltime bool
 }
 
 // System is the batch scheduler for one cluster.
@@ -102,9 +123,12 @@ type System struct {
 	closed  bool
 
 	// stats
-	submitted int
-	completed int
-	failed    int
+	submitted    int
+	completed    int
+	failed       int
+	overrunKills int
+	idlePad      time.Duration // walltime minus runtime, summed over completed jobs
+	reserved     time.Duration // walltime granted, summed over finished jobs
 }
 
 // New creates a batch system managing cfg.TotalNodes nodes.
@@ -202,7 +226,9 @@ func (s *System) headStartBound(head *Job) time.Time {
 	return time.Now().Add(24 * time.Hour)
 }
 
-// startLocked transitions a job to Running and launches its script.
+// startLocked transitions a job to Running and launches its script. The job
+// settles exactly once: on script completion, or — with EnforceWalltime —
+// at walltime expiry if the script is still running, whichever comes first.
 func (s *System) startLocked(j *Job) {
 	s.free -= j.Nodes
 	s.running[j.ID] = j
@@ -210,15 +236,23 @@ func (s *System) startLocked(j *Job) {
 	j.state = Running
 	j.start = time.Now()
 	j.mu.Unlock()
-	go func() {
-		err := j.Script()
+
+	settle := func(err error) {
 		j.mu.Lock()
+		if j.state != Running { // the other path settled first
+			j.mu.Unlock()
+			return
+		}
 		j.end = time.Now()
+		runtime := j.end.Sub(j.start)
 		if err != nil {
 			j.state = Failed
 			j.err = err
 		} else {
 			j.state = Done
+		}
+		if j.watchdog != nil {
+			j.watchdog.Stop()
 		}
 		j.mu.Unlock()
 		close(j.finished)
@@ -226,14 +260,37 @@ func (s *System) startLocked(j *Job) {
 		s.mu.Lock()
 		delete(s.running, j.ID)
 		s.free += j.Nodes
-		if err != nil {
+		s.reserved += j.Walltime
+		switch {
+		case errors.Is(err, ErrWalltime):
 			s.failed++
-		} else {
+			s.overrunKills++
+		case err != nil:
+			s.failed++
+		default:
 			s.completed++
+			if pad := j.Walltime - runtime; pad > 0 {
+				s.idlePad += pad
+			}
 		}
 		s.schedule()
 		s.mu.Unlock()
-	}()
+	}
+
+	if s.cfg.EnforceWalltime {
+		// Publish the timer handle under j.mu: the AfterFunc callback may
+		// fire before the assignment would otherwise be visible, and settle
+		// reads the handle from other goroutines.
+		t := time.AfterFunc(j.Walltime, func() { settle(ErrWalltime) })
+		j.mu.Lock()
+		if j.state == Running {
+			j.watchdog = t
+		} else {
+			t.Stop() // the watchdog itself already settled this job
+		}
+		j.mu.Unlock()
+	}
+	go func() { settle(j.Script()) }()
 }
 
 // Wait blocks until the job finishes and returns its script error.
@@ -260,7 +317,7 @@ func (s *System) Cancel(id int) error {
 	return fmt.Errorf("batch: job %d is not waiting", id)
 }
 
-// Stats is a snapshot of the system.
+// SystemStats is a snapshot of the system.
 type SystemStats struct {
 	TotalNodes int
 	FreeNodes  int
@@ -269,6 +326,15 @@ type SystemStats struct {
 	Submitted  int
 	Completed  int
 	Failed     int
+	// OverrunKills counts jobs killed at walltime expiry (EnforceWalltime);
+	// they are included in Failed.
+	OverrunKills int
+	// IdlePad is the reservation time completed jobs granted but never used
+	// (walltime − runtime, summed) — what oversized grants cost the cluster.
+	IdlePad time.Duration
+	// Reserved is the total walltime granted to finished jobs, the
+	// denominator that turns IdlePad into a utilisation figure.
+	Reserved time.Duration
 }
 
 // Stats returns a snapshot of queue and node occupancy.
@@ -276,13 +342,16 @@ func (s *System) Stats() SystemStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SystemStats{
-		TotalNodes: s.cfg.TotalNodes,
-		FreeNodes:  s.free,
-		Waiting:    len(s.queue),
-		Running:    len(s.running),
-		Submitted:  s.submitted,
-		Completed:  s.completed,
-		Failed:     s.failed,
+		TotalNodes:   s.cfg.TotalNodes,
+		FreeNodes:    s.free,
+		Waiting:      len(s.queue),
+		Running:      len(s.running),
+		Submitted:    s.submitted,
+		Completed:    s.completed,
+		Failed:       s.failed,
+		OverrunKills: s.overrunKills,
+		IdlePad:      s.idlePad,
+		Reserved:     s.reserved,
 	}
 }
 

@@ -20,7 +20,12 @@
 //
 // Forecast answers "how long would work GFlops take here, and how long until
 // the server drains what it already accepted" — the two quantities the
-// forecast-aware plug-in schedulers in internal/scheduler rank by.
+// forecast-aware plug-in schedulers in internal/scheduler rank by. The same
+// models feed two more decision points: Model.DeliveredGFlops gives
+// measured-power deployment planning (internal/deploy) the throughput each
+// SeD actually sustains, and Monitor.Forecast gives batch reservation
+// sizing (internal/batch.WalltimePolicy) the duration a walltime grant must
+// cover.
 package cori
 
 import (
@@ -106,6 +111,11 @@ type Model struct {
 	// MeasuredGFlops is the delivered power implied by the fit (1/slope),
 	// 0 when the slope is unavailable.
 	MeasuredGFlops float64
+	// MeanWorkGFlops is the average work size of ring samples that carried a
+	// work estimate, 0 when none did. Together with EWMASeconds it yields a
+	// delivered-power estimate even when the window has no work-size spread
+	// to regress on (see DeliveredGFlops).
+	MeanWorkGFlops float64
 	// Confidence ∈ (0,1]: 2^(-age/HalfLife) where age is the time since the
 	// newest sample. Fresh history ≈ 1; stale history decays toward 0.
 	Confidence float64
@@ -124,6 +134,22 @@ func (m Model) SolveSeconds(workGFlops float64) float64 {
 	var est scheduler.Estimate
 	m.ApplyToEstimate(&est, 0)
 	return est.ForecastSolveSeconds(workGFlops)
+}
+
+// DeliveredGFlops is the best available delivered-power estimate for the
+// server: the regression slope's implied power when the window has work-size
+// spread, else the throughput implied by running the mean observed work size
+// in the EWMA duration, else 0 (no sample ever carried a work estimate).
+// This is the capability signal measured-power deployment planning
+// (internal/deploy) places SeDs by.
+func (m Model) DeliveredGFlops() float64 {
+	if m.MeasuredGFlops > 0 {
+		return m.MeasuredGFlops
+	}
+	if m.MeanWorkGFlops > 0 && m.EWMASeconds > 0 {
+		return m.MeanWorkGFlops / m.EWMASeconds
+	}
+	return 0
 }
 
 // ApplyToEstimate copies the model into est's forecast-extension fields,
@@ -265,6 +291,9 @@ func (m *Monitor) Model(service string) (Model, bool) {
 		swd += w * d
 	}
 	out.MeanQueueDepth = qsum / float64(len(h.ring))
+	if n > 0 {
+		out.MeanWorkGFlops = sw / n
+	}
 	if n >= 2 {
 		det := n*sww - sw*sw
 		if det > 1e-9*sww { // guard against a degenerate (constant-work) window
@@ -323,6 +352,7 @@ func (m *Monitor) Metrics(service string) map[string]float64 {
 		"EST_TCOMP_BASE":    model.BaseSeconds,
 		"EST_TCOMP_PERGF":   model.PerGFlopSeconds,
 		"EST_MEASURED_FLOP": model.MeasuredGFlops,
+		"EST_DELIVERED":     model.DeliveredGFlops(),
 		"EST_CONFIDENCE":    model.Confidence,
 		"EST_AGE_S":         model.AgeSeconds,
 		"EST_AVG_QUEUE":     model.MeanQueueDepth,

@@ -1,0 +1,150 @@
+package deploy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cori"
+	"repro/internal/platform"
+)
+
+// fixedSource returns the given capabilities by SeD name.
+func fixedSource(caps map[string]Capability) CapabilitySource {
+	return func(sed string) (Capability, bool) {
+		c, ok := caps[sed]
+		return c, ok
+	}
+}
+
+func TestTopologyWithCapabilitiesBlendsPower(t *testing.T) {
+	d := platform.PaperDeployment()
+	// Nancy1 advertised ≈ 63.8 but measured at 22 with full confidence;
+	// Sophia1 measured at 30 with half confidence.
+	src := fixedSource(map[string]Capability{
+		"Nancy1":  {MeasuredGFlops: 22, Confidence: 1},
+		"Sophia1": {MeasuredGFlops: 30, Confidence: 0.5},
+	})
+	p, err := TopologyWith(d, Options{Capabilities: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := p.PowerByName()
+	if got := power["Nancy1"]; got < 21.9 || got > 22.1 {
+		t.Errorf("Nancy1 effective power %.1f, want ≈22 (full-confidence measurement)", got)
+	}
+	// Half confidence: midpoint of 30 and the advertised 58.24.
+	if got, want := power["Sophia1"], 0.5*30+0.5*58.24; got < want-0.1 || got > want+0.1 {
+		t.Errorf("Sophia1 effective power %.1f, want ≈%.1f (half-confidence blend)", got, want)
+	}
+	// Unmeasured SeDs keep their advertised power.
+	if got := power["Toulouse1"]; got != 44.8 {
+		t.Errorf("Toulouse1 effective power %.1f, want advertised 44.8", got)
+	}
+	// The plan lists SeDs best-first by effective power, so the demoted
+	// Nancy1 must now trail the unmeasured SeDs.
+	if p.SeDs[0].Name == "Nancy1" {
+		t.Error("a demoted SeD must not lead the placement order")
+	}
+	if last := p.SeDs[len(p.SeDs)-1]; last.Name != "Nancy1" {
+		t.Errorf("Nancy1 (22 GFlops) should place last, got %s", last.Name)
+	}
+	// Structure is untouched: same validation rules as the static plan.
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowConfidenceMeasurementIsIgnored(t *testing.T) {
+	d := platform.PaperDeployment()
+	src := fixedSource(map[string]Capability{
+		"Nancy1": {MeasuredGFlops: 22, Confidence: 0.01}, // below the 0.05 floor
+	})
+	p, err := TopologyWith(d, Options{Capabilities: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PowerByName()["Nancy1"]; got < 63.83 || got > 63.85 {
+		t.Errorf("stale measurement must fall back to advertised ≈63.84, got %.2f", got)
+	}
+}
+
+func TestMonitorSourceDeliveredPower(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { return now }
+	// A monitor with work-size spread measures power via the regression fit:
+	// duration = work/20 → 20 GFlops delivered.
+	fitted := cori.NewMonitor(cori.Config{Now: clock})
+	for _, w := range []float64{1000, 2000, 3000, 4000} {
+		fitted.Observe(cori.Sample{Service: "svc", WorkGFlops: w,
+			Duration: time.Duration(w / 20 * float64(time.Second)), At: now})
+	}
+	// Constant work: no slope, but mean-work/EWMA still implies ~25 GFlops.
+	constant := cori.NewMonitor(cori.Config{Now: clock})
+	for i := 0; i < 6; i++ {
+		constant.Observe(cori.Sample{Service: "svc", WorkGFlops: 1000,
+			Duration: 40 * time.Second, At: now})
+	}
+	// No work estimates at all: no delivered-power signal.
+	blind := cori.NewMonitor(cori.Config{Now: clock})
+	blind.Observe(cori.Sample{Service: "svc", Duration: time.Second, At: now})
+
+	src := MonitorSource(map[string]*cori.Monitor{
+		"fitted": fitted, "constant": constant, "blind": blind,
+	}, "svc")
+
+	if c, ok := src("fitted"); !ok || c.MeasuredGFlops < 19 || c.MeasuredGFlops > 21 {
+		t.Errorf("fitted: %+v ok=%v, want ≈20 GFlops", c, ok)
+	}
+	if c, ok := src("constant"); !ok || c.MeasuredGFlops < 24 || c.MeasuredGFlops > 26 {
+		t.Errorf("constant: %+v ok=%v, want ≈25 GFlops via mean-work/EWMA", c, ok)
+	}
+	if _, ok := src("blind"); ok {
+		t.Error("a monitor without work estimates must not report a capability")
+	}
+	if _, ok := src("absent"); ok {
+		t.Error("an unknown SeD must not report a capability")
+	}
+}
+
+func TestReplanReportsDemotions(t *testing.T) {
+	d := platform.PaperDeployment()
+	src := fixedSource(map[string]Capability{
+		"Nancy1": {MeasuredGFlops: 22, Confidence: 1},
+		"Nancy2": {MeasuredGFlops: 22, Confidence: 1},
+	})
+	plan, changes, err := Replan(d, Options{Capabilities: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) == 0 {
+		t.Fatal("demoting the two fastest SeDs must produce changes")
+	}
+	byName := map[string]Change{}
+	for _, c := range changes {
+		byName[c.SeD] = c
+	}
+	n1, ok := byName["Nancy1"]
+	if !ok {
+		t.Fatalf("changes %v missing Nancy1", changes)
+	}
+	if n1.NewRank <= n1.OldRank {
+		t.Errorf("Nancy1 rank %d → %d, want a demotion", n1.OldRank, n1.NewRank)
+	}
+	if n1.NewPower >= n1.OldPower {
+		t.Errorf("Nancy1 power %.1f → %.1f, want a drop", n1.OldPower, n1.NewPower)
+	}
+	// The Sophia SeDs (58.24 advertised, unmeasured) move up to ranks 1–2.
+	if plan.SeDs[0].Name != "Sophia1" && plan.SeDs[0].Name != "Sophia2" {
+		t.Errorf("replanned best SeD %s, want a Sophia SeD", plan.SeDs[0].Name)
+	}
+}
+
+func TestReplanNoTrainingNoChanges(t *testing.T) {
+	_, changes, err := Replan(platform.PaperDeployment(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Fatalf("a capability-less replan must be a no-op, got %v", changes)
+	}
+}

@@ -1,11 +1,19 @@
-// Package deploy plans a DIET hierarchy onto a physical platform. The paper
-// notes (§3.1) that "for performance reasons, the hierarchy of agents should
-// be deployed depending on the underlying network topology"; this package
-// encodes that rule — Master Agent at the client's site, one Local Agent per
-// cluster, SeDs under their cluster's LA — scores plans by the wide-area
-// traffic each scheduling request costs, and renders them either as an
-// in-process diet.DeploymentSpec or as the shell commands that launch the
-// dietagent/dietsed binaries across machines.
+// Package deploy plans a DIET hierarchy onto a physical platform — the
+// GoDIET role. The paper notes (§3.1) that "for performance reasons, the
+// hierarchy of agents should be deployed depending on the underlying network
+// topology"; this package encodes that rule — Master Agent at the client's
+// site, one Local Agent per cluster, SeDs under their cluster's LA — scores
+// plans by the wide-area traffic each scheduling request costs, and renders
+// them either as an in-process diet.DeploymentSpec or as the shell commands
+// that launch the dietagent/dietsed binaries across machines.
+//
+// Plans can be static (advertised node powers, the paper's hand-planned
+// hierarchy) or measured: an optional CapabilitySource feeds each SeD's
+// CoRI-observed delivered power (cori.Model.DeliveredGFlops) into planning,
+// blended with the advertised figure by measurement confidence, so
+// re-deployments place SeDs where delivered — not advertised — throughput
+// is. Replan diffs the two and reports which placements training would
+// change.
 package deploy
 
 import (
@@ -24,7 +32,15 @@ type Node struct {
 	Site    string
 	Cluster string // SeDs only
 	Parent  string // LAs point at the MA, SeDs at their LA
-	Power   float64
+	// Power is the effective processing power planning placed this node by:
+	// the advertised figure in a static plan, the confidence-weighted blend
+	// of measurement and advertisement in a measured plan. It is what
+	// Spec/Commands hand the live deployment as the SeD's advertised power.
+	Power float64
+	// MeasuredGFlops and Confidence record the capability the blend used
+	// (both 0 in a static plan or when the source had nothing trusted).
+	MeasuredGFlops float64
+	Confidence     float64
 }
 
 // Plan is a complete deployment layout.
@@ -39,52 +55,91 @@ type Plan struct {
 // deployment: the MA (and naming service) on the MA site, one LA per
 // distinct cluster hosting SeDs, each SeD under its cluster's LA.
 func Topology(d platform.Deployment) (*Plan, error) {
+	return TopologyWith(d, Options{})
+}
+
+// TopologyWith is Topology with planning options: when opts carries a
+// CapabilitySource the SeDs are placed by effective (measured-blend) power
+// and listed best-first, so Spec and Commands advertise delivered
+// throughput to the schedulers instead of the deployment file's guess.
+func TopologyWith(d platform.Deployment, opts Options) (*Plan, error) {
 	if len(d.SeDs) == 0 {
 		return nil, fmt.Errorf("deploy: deployment has no SeDs")
 	}
+	opts = opts.withDefaults()
 	p := &Plan{
 		Naming: Node{Name: "naming", Kind: "naming", Site: d.MASite},
 		MA:     Node{Name: "MA1", Kind: "MA", Site: d.MASite},
 	}
 	laByCluster := make(map[string]string)
-	var clusters []string
 	for _, s := range d.SeDs {
 		if _, ok := laByCluster[s.Cluster]; !ok {
 			la := "LA-" + s.Cluster
 			laByCluster[s.Cluster] = la
-			clusters = append(clusters, s.Cluster)
 			p.LAs = append(p.LAs, Node{Name: la, Kind: "LA", Site: s.Site, Parent: p.MA.Name})
 		}
 	}
-	sort.Strings(clusters) // deterministic LA order
 	sort.Slice(p.LAs, func(i, j int) bool { return p.LAs[i].Name < p.LAs[j].Name })
 	for _, s := range d.SeDs {
+		eff, measured, conf := opts.effective(s.Name, s.PowerGFlops())
 		p.SeDs = append(p.SeDs, Node{
 			Name: s.Name, Kind: "SeD", Site: s.Site, Cluster: s.Cluster,
-			Parent: laByCluster[s.Cluster], Power: s.PowerGFlops(),
+			Parent: laByCluster[s.Cluster], Power: eff,
+			MeasuredGFlops: measured, Confidence: conf,
 		})
 	}
+	sortSeDsByPower(p.SeDs)
 	return p, nil
 }
 
 // Flat builds the naive alternative: a single LA co-located with the MA,
 // every SeD directly under it — the layout Topology exists to beat.
 func Flat(d platform.Deployment) (*Plan, error) {
+	return FlatWith(d, Options{})
+}
+
+// FlatWith is Flat with planning options (see TopologyWith).
+func FlatWith(d platform.Deployment, opts Options) (*Plan, error) {
 	if len(d.SeDs) == 0 {
 		return nil, fmt.Errorf("deploy: deployment has no SeDs")
 	}
+	opts = opts.withDefaults()
 	p := &Plan{
 		Naming: Node{Name: "naming", Kind: "naming", Site: d.MASite},
 		MA:     Node{Name: "MA1", Kind: "MA", Site: d.MASite},
 		LAs:    []Node{{Name: "LA-flat", Kind: "LA", Site: d.MASite, Parent: "MA1"}},
 	}
 	for _, s := range d.SeDs {
+		eff, measured, conf := opts.effective(s.Name, s.PowerGFlops())
 		p.SeDs = append(p.SeDs, Node{
 			Name: s.Name, Kind: "SeD", Site: s.Site, Cluster: s.Cluster,
-			Parent: "LA-flat", Power: s.PowerGFlops(),
+			Parent: "LA-flat", Power: eff,
+			MeasuredGFlops: measured, Confidence: conf,
 		})
 	}
+	sortSeDsByPower(p.SeDs)
 	return p, nil
+}
+
+// sortSeDsByPower lists SeDs by delivered throughput, best first (ties by
+// name): the plan's placement order, which Commands and Spec preserve.
+func sortSeDsByPower(seds []Node) {
+	sort.Slice(seds, func(i, j int) bool {
+		if seds[i].Power != seds[j].Power {
+			return seds[i].Power > seds[j].Power
+		}
+		return seds[i].Name < seds[j].Name
+	})
+}
+
+// PowerByName returns the plan's effective SeD powers keyed by name — the
+// map the simulator's PlannedPower mirror and reporting tools consume.
+func (p *Plan) PowerByName() map[string]float64 {
+	out := make(map[string]float64, len(p.SeDs))
+	for _, s := range p.SeDs {
+		out[s.Name] = s.Power
+	}
+	return out
 }
 
 // Validate checks structural invariants: unique names, every parent exists,

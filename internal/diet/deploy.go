@@ -42,6 +42,10 @@ type SeDSpec struct {
 	Capacity    int
 	PowerGFlops float64
 	Services    []ServiceSpec
+	// Executor optionally routes this SeD's solves through a batch system
+	// (e.g. batch.Executor for fixed grants, batch.ForecastExecutor for
+	// forecast-sized reservations). Nil executes solves inline.
+	Executor Executor
 }
 
 // ServiceSpec binds a descriptor to its solve function for deployment.
@@ -127,7 +131,7 @@ func Deploy(spec DeploymentSpec) (*Deployment, error) {
 		sed, err := NewSeD(SeDConfig{
 			Name: ss.Name, Parent: ss.Parent, Naming: d.NamingAddr,
 			Capacity: ss.Capacity, PowerGFlops: ss.PowerGFlops,
-			Cluster: ss.Cluster, Local: spec.Local,
+			Cluster: ss.Cluster, Local: spec.Local, Executor: ss.Executor,
 		})
 		if err != nil {
 			d.Close()

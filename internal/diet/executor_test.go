@@ -1,0 +1,83 @@
+package diet
+
+import (
+	"testing"
+
+	"repro/internal/cori"
+	"repro/internal/rpc"
+	"repro/internal/scheduler"
+)
+
+// sizedRecorder records what the SeD hands a SizedExecutor per solve.
+type sizedRecorder struct {
+	services []string
+	works    []float64
+	bound    *cori.Monitor
+}
+
+func (r *sizedRecorder) Execute(run func() error) error { return run() }
+func (r *sizedRecorder) ExecuteSized(service string, workGFlops float64, run func() error) error {
+	r.services = append(r.services, service)
+	r.works = append(r.works, workGFlops)
+	return run()
+}
+func (r *sizedRecorder) BindMonitor(m *cori.Monitor) { r.bound = m }
+
+// TestSeDRoutesSolvesThroughSizedExecutor checks the forecast-sized
+// reservation plumbing: the SeD hands the executor the service name and the
+// client's work estimate, and binds its own CoRI monitor so walltime sizing
+// reads the same history the estimates do.
+func TestSeDRoutesSolvesThroughSizedExecutor(t *testing.T) {
+	rpc.ResetLocal()
+	defer rpc.ResetLocal()
+
+	rec := &sizedRecorder{}
+	spec := DeploymentSpec{
+		MAName: "MA1",
+		Policy: scheduler.NewRoundRobin(),
+		LAs:    []string{"LA1"},
+		Local:  true,
+	}
+	desc, _ := NewProfileDesc("echo", 0, 0, 1)
+	desc.Set(0, Scalar, Int)
+	desc.Set(1, Scalar, Int)
+	svc := ServiceSpec{Desc: desc, Solve: func(p *Profile) error {
+		v, err := p.ScalarInt(0)
+		if err != nil {
+			return err
+		}
+		return p.SetScalarInt(1, v+1, Volatile)
+	}}
+	spec.SeDs = []SeDSpec{{
+		Name: "SeD1", Parent: "LA1", Capacity: 1, PowerGFlops: 50,
+		Services: []ServiceSpec{svc}, Executor: rec,
+	}}
+	d, err := Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if rec.bound == nil || rec.bound != d.SeDs[0].Monitor() {
+		t.Fatal("deploy must bind the SeD's monitor to the sized executor")
+	}
+
+	client, err := d.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewProfile("echo", 0, 0, 1)
+	p.SetScalarInt(0, 41, Volatile)
+	if _, err := client.Call(p, WithWork(1234)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.ScalarInt(1); got != 42 {
+		t.Fatalf("solve result %d, want 42", got)
+	}
+	if len(rec.services) != 1 || rec.services[0] != "echo" {
+		t.Fatalf("executor saw services %v, want [echo]", rec.services)
+	}
+	if len(rec.works) != 1 || rec.works[0] != 1234 {
+		t.Fatalf("executor saw work %v, want the client's 1234 GFlop estimate", rec.works)
+	}
+}

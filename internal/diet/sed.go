@@ -23,6 +23,22 @@ type Executor interface {
 	Execute(run func() error) error
 }
 
+// SizedExecutor is an Executor that sizes its reservation from the solve's
+// service name and work estimate — batch.ForecastExecutor implements it to
+// derive each walltime from the SeD's CoRI forecast instead of a fixed
+// grant. SeDs probe for it and fall back to plain Execute.
+type SizedExecutor interface {
+	Executor
+	ExecuteSized(service string, workGFlops float64, run func() error) error
+}
+
+// MonitorBinder is an Executor that wants the SeD's CoRI monitor — NewSeD
+// probes for it and hands its monitor over, so walltime sizing reads the
+// same solve history the SeD's estimates are built from.
+type MonitorBinder interface {
+	BindMonitor(*cori.Monitor)
+}
+
 // directExecutor runs the solve in the calling goroutine.
 type directExecutor struct{}
 
@@ -134,6 +150,9 @@ func NewSeD(cfg SeDConfig) (*SeD, error) {
 	}
 	for i := 0; i < cfg.Capacity; i++ {
 		s.slots <- struct{}{}
+	}
+	if b, ok := cfg.Executor.(MonitorBinder); ok {
+		b.BindMonitor(s.monitor)
 	}
 	return s, nil
 }
@@ -299,25 +318,49 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	}
 	<-job.grant
 
-	start := time.Now()
 	s.statMu.Lock()
 	s.queued--
 	s.running++
 	s.statMu.Unlock()
 	publish(s.cfg.Events, "SeD:"+s.cfg.Name, "solve_begin", p.Service)
 
-	err := s.cfg.Executor.Execute(func() error { return entry.solve(p) })
+	// Compute time is clocked inside the body, not around the Executor call:
+	// a batch executor adds grant delay, batch-queue wait and possibly killed
+	// attempts around it, none of which predicts service time (the cori
+	// Sample contract is "compute time, excluding queue wait"). The executor
+	// serialises body invocations, so on requeue the last run's stamps win.
+	var solveStart, solveEnd time.Time
+	body := func() error {
+		solveStart = time.Now()
+		err := entry.solve(p)
+		solveEnd = time.Now()
+		return err
+	}
+	var err error
+	if sized, ok := s.cfg.Executor.(SizedExecutor); ok {
+		// Forecast-sized reservations: the executor sees which service and
+		// how much work, so it can derive the walltime from the CoRI model.
+		err = sized.ExecuteSized(p.Service, p.WorkGFlops, body)
+	} else {
+		err = s.cfg.Executor.Execute(body)
+	}
 
 	end := time.Now()
+	var compute time.Duration
+	if err == nil && !solveStart.IsZero() {
+		compute = solveEnd.Sub(solveStart)
+	}
 	s.statMu.Lock()
 	s.running--
 	s.pending[p.Service]--
 	if s.pending[p.Service] <= 0 {
 		delete(s.pending, p.Service)
 	}
-	s.lastSolveS = end.Sub(start).Seconds()
+	if compute > 0 {
+		s.lastSolveS = compute.Seconds()
+		s.busySecs += compute.Seconds()
+	}
 	s.solved++
-	s.busySecs += end.Sub(start).Seconds()
 	s.statMu.Unlock()
 	s.slots <- struct{}{} // release the slot
 	publish(s.cfg.Events, "SeD:"+s.cfg.Name, "solve_end", p.Service)
@@ -330,15 +373,17 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	s.monitor.Observe(cori.Sample{
 		Service:    p.Service,
 		WorkGFlops: p.WorkGFlops,
-		Duration:   end.Sub(start),
+		Duration:   compute,
 		QueueDepth: depthAtAdmission,
 	})
 	s.storePersistent(p)
 	return &SolveReply{
 		Profile: p,
 		Timing: solveTiming{
-			QueueWaitMS: float64(start.Sub(enq).Microseconds()) / 1000,
-			ComputeMS:   float64(end.Sub(start).Microseconds()) / 1000,
+			// Queue wait is everything that was not computing: the SeD FIFO
+			// plus any batch reservation wait inside the executor.
+			QueueWaitMS: float64((end.Sub(enq) - compute).Microseconds()) / 1000,
+			ComputeMS:   float64(compute.Microseconds()) / 1000,
 		},
 	}, nil
 }

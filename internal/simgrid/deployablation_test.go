@@ -1,0 +1,157 @@
+package simgrid
+
+import (
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+// TestBatchFixedGrantKillsOverruns checks the simulator's walltime mirror:
+// a fixed grant smaller than the solve duration is killed at expiry and
+// requeued with a doubled grant, and the wasted compute extends the
+// makespan.
+func TestBatchFixedGrantKillsOverruns(t *testing.T) {
+	mk := func(wallS float64) ExperimentConfig {
+		cfg := DefaultExperiment(scheduler.NewRoundRobin())
+		cfg.NRequests = 10
+		cfg.BatchMode = true
+		cfg.BatchGrantS = 30
+		cfg.BatchFixedWallS = wallS
+		return cfg
+	}
+	generous, err := RunExperiment(mk(100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if generous.Batch.OverrunKills != 0 {
+		t.Fatalf("a generous grant must not kill, got %d kills", generous.Batch.OverrunKills)
+	}
+	if generous.Batch.Reservations != 11 {
+		t.Fatalf("11 solves must reserve, got %d", generous.Batch.Reservations)
+	}
+	if generous.Batch.IdlePadS <= 0 {
+		t.Fatal("a generous grant must record idle pad")
+	}
+	// Mean solve is ~5000 s: a 2000 s grant kills every solve at least once.
+	tight, err := RunExperiment(mk(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Batch.OverrunKills < 11 {
+		t.Fatalf("a 2000 s grant must kill every solve at least once, got %d kills", tight.Batch.OverrunKills)
+	}
+	if tight.Batch.WastedS <= 0 {
+		t.Fatal("kills must waste compute")
+	}
+	if tight.TotalS <= generous.TotalS {
+		t.Fatalf("kill-and-requeue must cost makespan: tight %s vs generous %s",
+			Hours(tight.TotalS), Hours(generous.TotalS))
+	}
+}
+
+// TestBatchForecastSizesReservations checks that with trained monitors the
+// forecast-sized arm right-sizes walltimes: no kills and far less idle pad
+// than a fixed 2 h grant, on the honest platform.
+func TestBatchForecastSizesReservations(t *testing.T) {
+	mk := func() ExperimentConfig {
+		cfg := DefaultExperiment(scheduler.NewRoundRobin())
+		cfg.NRequests = 30
+		cfg.BatchMode = true
+		cfg.BatchGrantS = 30
+		return cfg
+	}
+	fixed, err := RunExperiment(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := mk()
+	cfg.BatchForecast = true
+	rounds, err := RunExperimentRounds(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained := rounds[1]
+	if trained.Batch.ForecastSized == 0 {
+		t.Fatal("trained round must size reservations from forecasts")
+	}
+	if trained.Batch.OverrunKills != 0 {
+		t.Fatalf("right-sized reservations must not be killed, got %d kills", trained.Batch.OverrunKills)
+	}
+	// The sized pad is the ~20% policy margin on a ~5000 s solve (~1000 s);
+	// the fixed 2 h grant pads ~2100 s on the same solves.
+	perResFixed := fixed.Batch.IdlePadS / float64(fixed.Batch.Reservations)
+	perResTrained := trained.Batch.IdlePadS / float64(trained.Batch.Reservations)
+	if perResTrained >= 0.75*perResFixed {
+		t.Fatalf("forecast sizing must cut idle pad: %.0f s/reservation vs fixed %.0f", perResTrained, perResFixed)
+	}
+}
+
+// TestBatchForecastRequiresForecast checks the config validation.
+func TestBatchForecastRequiresForecast(t *testing.T) {
+	cfg := DefaultExperiment(scheduler.NewRoundRobin())
+	cfg.BatchMode = true
+	cfg.BatchForecast = true
+	if _, err := RunExperiment(cfg); err == nil {
+		t.Fatal("BatchForecast without Forecast must be rejected")
+	}
+}
+
+// TestRunDeployAblation is the acceptance gate for closing the forecast
+// loop: on the CanonicalSkew-miscalibrated platform, measured-power
+// deployment planning plus forecast-sized batch reservations must beat
+// static planning plus fixed grants on makespan AND on overrun+pad cost,
+// and the replan must demote the degraded SeDs.
+func TestRunDeployAblation(t *testing.T) {
+	res, err := RunDeployAblation(func() ExperimentConfig {
+		cfg := DefaultExperiment(nil)
+		cfg.NRequests = 60
+		return cfg
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("honest %s, static(skew) %s, trained(skew) %s — makespan gain %.1f%%, reservation gain %.1f%%",
+		Hours(res.Honest.TotalS), Hours(res.Static.TotalS), Hours(res.Trained.TotalS),
+		res.MakespanGainPct(), res.ReservationGainPct())
+	t.Logf("static kills %d pad %.0fs wasted %.0fs | trained kills %d pad %.0fs wasted %.0fs",
+		res.Static.Batch.OverrunKills, res.Static.Batch.IdlePadS, res.Static.Batch.WastedS,
+		res.Trained.Batch.OverrunKills, res.Trained.Batch.IdlePadS, res.Trained.Batch.WastedS)
+
+	// Precondition: miscalibration must actually hurt the static pipeline.
+	if res.Static.TotalS <= res.Honest.TotalS {
+		t.Fatalf("skew must hurt the static arm: %s vs honest %s",
+			Hours(res.Static.TotalS), Hours(res.Honest.TotalS))
+	}
+	if res.Static.Batch.OverrunKills == 0 {
+		t.Fatal("fixed grants sized for advertised speed must be killed on degraded SeDs")
+	}
+	// The headline: trained beats static on makespan…
+	if res.Trained.TotalS >= res.Static.TotalS {
+		t.Fatalf("trained %s must beat static %s on the miscalibrated platform",
+			Hours(res.Trained.TotalS), Hours(res.Static.TotalS))
+	}
+	// …and on the overrun+pad reservation cost.
+	if res.Trained.Batch.OverrunPadCostS() >= res.Static.Batch.OverrunPadCostS() {
+		t.Fatalf("trained overrun+pad %.0f s must beat static %.0f s",
+			res.Trained.Batch.OverrunPadCostS(), res.Static.Batch.OverrunPadCostS())
+	}
+	if res.Trained.Batch.OverrunKills >= res.Static.Batch.OverrunKills {
+		t.Fatalf("forecast-sized reservations must cut kills: %d vs %d",
+			res.Trained.Batch.OverrunKills, res.Static.Batch.OverrunKills)
+	}
+
+	// The replan must have noticed the degraded SeDs and demoted them.
+	if len(res.Changes) == 0 {
+		t.Fatal("replan on a miscalibrated platform must report changes")
+	}
+	for _, name := range []string{"Nancy1", "Nancy2"} {
+		planned, ok := res.PlannedPower[name]
+		if !ok {
+			t.Fatalf("planned power missing %s", name)
+		}
+		if planned >= 0.6*63.84 { // advertised ≈ 63.8, delivered 35% of it
+			t.Errorf("%s planned power %.1f should reflect the ~22 GFlops delivered", name, planned)
+		}
+	}
+}

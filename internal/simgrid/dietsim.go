@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/cori"
 	"repro/internal/platform"
 	"repro/internal/scheduler"
@@ -45,9 +46,25 @@ type ExperimentConfig struct {
 	ResultMB   float64
 
 	// BatchMode routes every solve through an OAR-style reservation adding
-	// BatchGrantS seconds before the job starts (ablation A3).
+	// BatchGrantS seconds before each job attempt starts (ablation A3).
 	BatchMode   bool
 	BatchGrantS float64
+	// BatchFixedWallS is the fixed walltime (seconds) every reservation
+	// requests in BatchMode — the static grant the paper's submissions used.
+	// A job whose solve outlives its walltime is killed at expiry and
+	// requeued with a RequeueFactor-widened grant, mirroring
+	// batch.System{EnforceWalltime} + batch.ForecastExecutor. 0 disables
+	// walltime enforcement (an unbounded grant).
+	BatchFixedWallS float64
+	// BatchForecast sizes each reservation's walltime from the SeD's CoRI
+	// model through BatchPolicy instead of the fixed grant — the
+	// forecast-sized reservations of batch.ForecastExecutor in virtual time.
+	// Requires Forecast; SeDs whose monitor is cold for the service fall
+	// back to BatchFixedWallS.
+	BatchForecast bool
+	// BatchPolicy tunes forecast walltime sizing. Zero value = the batch
+	// package defaults with Fixed overridden by BatchFixedWallS.
+	BatchPolicy batch.WalltimePolicy
 
 	// ArrivalGapS spaces the phase-2 submissions instead of the paper's
 	// all-at-once burst; Figure 6's latency growth is pure burst queueing,
@@ -74,6 +91,12 @@ type ExperimentConfig struct {
 	// power-aware scheduling is misled while the forecaster measures the
 	// truth. Missing names default to 1 (honest).
 	TruePowerFactor map[string]float64
+	// PlannedPower overrides the power each named SeD *advertises* in its
+	// estimation vector — the simulator's mirror of re-deploying with a
+	// measured-power plan (deploy.Replan → Plan.PowerByName): the schedulers
+	// see the planned powers while the platform keeps its true speeds.
+	// Missing names keep the deployment's advertised power.
+	PlannedPower map[string]float64
 }
 
 // DefaultExperiment returns the configuration reproducing the paper run.
@@ -93,8 +116,14 @@ func DefaultExperiment(policy scheduler.Policy) ExperimentConfig {
 		InitMS:           20.8,
 		NamelistKB:       4,
 		ResultMB:         64,
+		BatchFixedWallS:  7200, // a 2 h user grant, comfortably above the ~1h24 mean solve
 	}
 }
+
+// maxBatchAttempts mirrors batch.ForecastExecutor's default retry budget
+// (MaxAttempts): grants that would still overrun after this many attempts
+// fail in the live stack, so the simulator refuses to model past it.
+const maxBatchAttempts = 3
 
 // meanPower averages SeD powers over a deployment.
 func meanPower(dep platform.Deployment) float64 {
@@ -129,6 +158,24 @@ type SeDSummary struct {
 	BusyHours float64
 }
 
+// BatchStats aggregates the reservation behaviour of a BatchMode campaign —
+// the virtual-time mirror of batch.SystemStats + batch.ExecStats.
+type BatchStats struct {
+	Reservations  int     // solves routed through a reservation
+	ForecastSized int     // walltimes derived from a trusted CoRI forecast
+	FixedGrant    int     // walltimes from the fixed grant
+	OverrunKills  int     // attempts killed at walltime expiry
+	Requeues      int     // resubmissions after a kill
+	IdlePadS      float64 // walltime granted but unused on successful attempts
+	ReservedS     float64 // total walltime requested over all attempts
+	WastedS       float64 // compute seconds thrown away by killed attempts
+}
+
+// OverrunPadCostS is the scalar reservation-quality score: compute seconds
+// wasted by kills plus idle walltime padded onto successful grants — the
+// quantity forecast-sized reservations exist to shrink.
+func (b BatchStats) OverrunPadCostS() float64 { return b.WastedS + b.IdlePadS }
+
 // ExperimentResult is the full campaign outcome.
 type ExperimentResult struct {
 	Policy        string
@@ -138,22 +185,24 @@ type ExperimentResult struct {
 	TotalS        float64         // makespan of the whole campaign
 	Phase1S       float64
 	MeanPhase2S   float64
-	SequentialS   float64 // sum of all compute durations: the no-grid baseline
-	OverheadMS    float64 // mean per-request middleware overhead (find + init)
-	TotalOverhead float64 // summed overhead, seconds (paper: ≈7 s)
+	SequentialS   float64    // sum of all compute durations: the no-grid baseline
+	OverheadMS    float64    // mean per-request middleware overhead (find + init)
+	TotalOverhead float64    // summed overhead, seconds (paper: ≈7 s)
+	Batch         BatchStats // reservation metrics; zero unless BatchMode
 }
 
 // sedState is the simulator's view of one SeD.
 type sedState struct {
-	place     platform.SeDPlacement
-	truePower float64 // actual delivered GFlops (advertised × TruePowerFactor)
-	monitor   *cori.Monitor
-	pending   map[string]int // accepted-but-unfinished solves, by service
-	queue     int            // waiting requests
-	running   int            // 0 or 1 (capacity 1, as in the paper)
-	freeAt    float64        // virtual time the current queue drains
-	lastSolve float64        // seconds; <0 until the SeD has completed a solve
-	records   []RequestRecord
+	place      platform.SeDPlacement
+	truePower  float64 // actual delivered GFlops (advertised × TruePowerFactor)
+	advertised float64 // power the estimate reports (PlannedPower override or the placement's)
+	monitor    *cori.Monitor
+	pending    map[string]int // accepted-but-unfinished solves, by service
+	queue      int            // waiting requests
+	running    int            // 0 or 1 (capacity 1, as in the paper)
+	freeAt     float64        // virtual time the current queue drains
+	lastSolve  float64        // seconds; <0 until the SeD has completed a solve
+	records    []RequestRecord
 }
 
 // estimate builds the scheduler's view of the SeD, mirroring
@@ -166,7 +215,7 @@ func (s *sedState) estimate(service string) scheduler.Estimate {
 		Capacity:         1,
 		Running:          s.running,
 		QueueLen:         s.queue,
-		PowerGFlops:      s.place.PowerGFlops(),
+		PowerGFlops:      s.advertised,
 		LastSolveSeconds: s.lastSolve,
 	}
 	if s.monitor != nil {
@@ -189,8 +238,12 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	if cfg.NRequests < 1 {
 		return nil, fmt.Errorf("simgrid: NRequests must be >= 1, got %d", cfg.NRequests)
 	}
+	if cfg.BatchForecast && !cfg.Forecast {
+		return nil, fmt.Errorf("simgrid: BatchForecast needs Forecast monitors attached")
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sim := NewSim()
+	batchExhausted := 0
 
 	seds := make([]*sedState, len(cfg.Deployment.SeDs))
 	byName := make(map[string]*sedState, len(seds))
@@ -199,7 +252,11 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		if f, ok := cfg.TruePowerFactor[p.Name]; ok && f > 0 {
 			truePower *= f
 		}
-		seds[i] = &sedState{place: p, truePower: truePower, lastSolve: -1, pending: make(map[string]int)}
+		advertised := p.PowerGFlops()
+		if v, ok := cfg.PlannedPower[p.Name]; ok && v > 0 {
+			advertised = v
+		}
+		seds[i] = &sedState{place: p, truePower: truePower, advertised: advertised, lastSolve: -1, pending: make(map[string]int)}
 		byName[p.Name] = seds[i]
 		if cfg.Forecast {
 			if m := cfg.Monitors[p.Name]; m != nil {
@@ -218,6 +275,7 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		}
 	}
 	maSite := cfg.Deployment.MASite
+	res := &ExperimentResult{Policy: cfg.Policy.Name()}
 
 	// findingTime models one MA submission: client→MA round trip, the
 	// parallel estimate collection through the LA hierarchy (bounded by the
@@ -257,10 +315,66 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 			startS = sed.freeAt
 		}
 		startS += cfg.InitMS / 1000
-		if cfg.BatchMode {
-			startS += cfg.BatchGrantS
-		}
 		durS := work / sed.truePower
+		if cfg.BatchMode {
+			// Reservation: size the walltime (fixed grant, or CoRI forecast
+			// via the same batch.WalltimePolicy the live executor runs), pay
+			// the grant delay per attempt, and replay kill-and-requeue when
+			// the solve outlives its grant — batch.System{EnforceWalltime}
+			// + batch.ForecastExecutor in virtual time.
+			pol := cfg.BatchPolicy
+			if pol.Fixed <= 0 && cfg.BatchFixedWallS > 0 {
+				pol.Fixed = time.Duration(cfg.BatchFixedWallS * float64(time.Second))
+			}
+			// With no grant configured anywhere and no forecasting, walltimes
+			// are unbounded (the pre-enforcement A3 behaviour); otherwise the
+			// fallback is the resolved policy's Fixed — exactly what the live
+			// ForecastExecutor's Size grants a cold monitor.
+			enforce := pol.Fixed > 0 || cfg.BatchForecast
+			pol = pol.WithDefaults()
+			wall, sized := 0.0, false
+			if enforce {
+				wall = pol.Fixed.Seconds()
+			}
+			if cfg.BatchForecast && sed.monitor != nil {
+				if model, ok := sed.monitor.Model(service); ok {
+					if w, ok := pol.FromForecast(model.SolveSeconds(work), model.Confidence); ok {
+						wall, sized = w.Seconds(), true
+					}
+				}
+			}
+			res.Batch.Reservations++
+			if sized {
+				res.Batch.ForecastSized++
+			} else {
+				res.Batch.FixedGrant++
+			}
+			startS += cfg.BatchGrantS
+			if wall > 0 {
+				// Mirror the live executor's retry budget: a solve that still
+				// overruns after maxBatchAttempts grants would fail for real,
+				// so the campaign must not silently absorb it (checked after
+				// the run).
+				for attempt := 1; wall < durS; attempt++ {
+					if attempt >= maxBatchAttempts {
+						batchExhausted++
+						break
+					}
+					// Killed at expiry: the grant's compute is wasted and the
+					// requeued attempt waits for a fresh, widened grant.
+					res.Batch.OverrunKills++
+					res.Batch.Requeues++
+					res.Batch.WastedS += wall
+					res.Batch.ReservedS += wall
+					startS += wall + cfg.BatchGrantS
+					wall *= pol.RequeueFactor
+				}
+				res.Batch.ReservedS += wall
+				if pad := wall - durS; pad > 0 {
+					res.Batch.IdlePadS += pad
+				}
+			}
+		}
 		endS := startS + durS
 		depthAtAdmission := sed.queue + sed.running
 		sed.queue++
@@ -296,8 +410,6 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 			onDone(rec)
 		})
 	}
-
-	res := &ExperimentResult{Policy: cfg.Policy.Name()}
 
 	// Phase 1 at t=0.
 	f1 := findingTime()
@@ -338,6 +450,10 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	}
 
 	sim.Run()
+	if batchExhausted > 0 {
+		return nil, fmt.Errorf("simgrid: %d reservations exhausted the %d-attempt walltime budget — the live executor would fail these solves; widen the grant or train the forecasts",
+			batchExhausted, maxBatchAttempts)
+	}
 	if done != cfg.NRequests {
 		return nil, fmt.Errorf("simgrid: only %d of %d requests completed", done, cfg.NRequests)
 	}
@@ -416,6 +532,11 @@ func (r *ExperimentResult) PrintTotals(w io.Writer) {
 	fmt.Fprintf(w, "  mean find time        %.1f ms\n", r.MeanFindingMS())
 	fmt.Fprintf(w, "  overhead per request  %.1f ms\n", r.OverheadMS)
 	fmt.Fprintf(w, "  total overhead        %.1f s\n", r.TotalOverhead)
+	if r.Batch.Reservations > 0 {
+		fmt.Fprintf(w, "  reservations          %d (%d forecast-sized), %d overrun kills, idle pad %s, wasted %s\n",
+			r.Batch.Reservations, r.Batch.ForecastSized, r.Batch.OverrunKills,
+			Hours(r.Batch.IdlePadS), Hours(r.Batch.WastedS))
+	}
 }
 
 // MeanFindingMS averages the phase-2 finding times.

@@ -4,6 +4,15 @@
 // same scheduling policies — in virtual time, reproducing the shape of every
 // measured quantity (Figures 5 and 6, and the §6.2 totals) in milliseconds
 // of real time. The kernel is a classic event queue with a virtual clock.
+//
+// The simulator mirrors the live middleware's adaptive layers exactly: each
+// SeD can host the real cori.Monitor driven by the virtual clock, batch
+// reservations are sized by the real batch.WalltimePolicy (with overrun
+// kills and requeues), and estimates advertise replanned powers via
+// PlannedPower. The ablation drivers quantify each layer — scheduling
+// policies (RunExperiment/RunExperimentRounds), cold-vs-trained forecasting
+// (RunForecastAblation), and the closed deployment+reservation loop
+// (RunDeployAblation).
 package simgrid
 
 import (
