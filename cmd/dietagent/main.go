@@ -35,6 +35,8 @@ func main() {
 		listen     = flag.String("listen", ":9000", "agent listen address")
 		policy     = flag.String("policy", "roundrobin", "MA scheduling policy: roundrobin, random, mct, poweraware, forecastaware, contentionaware")
 		seed       = flag.Int64("seed", 1, "seed for the random policy")
+		heartbeat  = flag.Duration("heartbeat", 0, "ping children every interval, evicting dead ones; each sweep also gossips CoRI models through the hierarchy (0 = off)")
+		maxMissed  = flag.Int("max-missed", 3, "consecutive missed heartbeats before a child is evicted")
 	)
 	flag.Parse()
 
@@ -72,6 +74,7 @@ func main() {
 	agent, err := diet.NewAgent(diet.AgentConfig{
 		Name: *name, Kind: agentKind, Parent: *parent,
 		Naming: *namingAddr, Policy: pol, ListenAddr: *listen,
+		HeartbeatInterval: *heartbeat, MaxMissed: *maxMissed,
 	})
 	if err != nil {
 		log.Fatal(err)

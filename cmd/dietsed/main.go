@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"os"
@@ -35,6 +36,9 @@ func main() {
 		coriWindow   = flag.Int("cori-window", 64, "CoRI history ring size per service")
 		coriHalfLife = flag.Duration("cori-halflife", time.Hour, "CoRI forecast-confidence half-life")
 		coriStats    = flag.Duration("cori-stats", 0, "log CoRI metrics every interval (0 = off)")
+		// Persistence: snapshot the monitor so restarts keep their training.
+		coriSnapshot = flag.String("cori-snapshot", "", "persist the CoRI monitor to this file: loaded at boot when present, saved on shutdown")
+		coriSnapInt  = flag.Duration("cori-snapshot-interval", 0, "additionally save the CoRI snapshot every interval (0 = only on shutdown)")
 	)
 	flag.Parse()
 	if *namingAddr == "" {
@@ -61,6 +65,18 @@ func main() {
 	if err := services.Register(sed, dir); err != nil {
 		log.Fatal(err)
 	}
+	if *coriSnapshot != "" {
+		// Restore before Start so the first estimates already carry the
+		// previous life's training; a missing file just means a first boot.
+		switch err := sed.Monitor().LoadFile(*coriSnapshot); {
+		case err == nil:
+			log.Printf("CoRI monitor restored from %s (services %v)", *coriSnapshot, sed.Monitor().Services())
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("CoRI snapshot %s not found, starting cold", *coriSnapshot)
+		default:
+			log.Fatalf("loading CoRI snapshot: %v", err)
+		}
+	}
 	if err := sed.Start(); err != nil {
 		log.Fatal(err)
 	}
@@ -76,10 +92,26 @@ func main() {
 			}
 		}()
 	}
+	if *coriSnapshot != "" && *coriSnapInt > 0 {
+		go func() {
+			for range time.Tick(*coriSnapInt) {
+				if err := sed.Monitor().SaveFile(*coriSnapshot); err != nil {
+					log.Printf("saving CoRI snapshot: %v", err)
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down SeD %s", *name)
+	if *coriSnapshot != "" {
+		if err := sed.Monitor().SaveFile(*coriSnapshot); err != nil {
+			log.Printf("saving CoRI snapshot: %v", err)
+		} else {
+			log.Printf("CoRI monitor saved to %s", *coriSnapshot)
+		}
+	}
 	sed.Close()
 }

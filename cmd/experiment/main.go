@@ -10,6 +10,7 @@
 //	experiment -forecast -scheduler forecastaware   # CoRI monitors on every SeD
 //	experiment -forecast-ablation        # A5: cold vs trained forecasting arms
 //	experiment -deploy-ablation          # A6: measured-power planning + forecast-sized reservations
+//	experiment -warmstart-ablation       # A7: cold vs warm-started SeD join (cluster model gossip)
 package main
 
 import (
@@ -41,10 +42,12 @@ func main() {
 		forecast   = flag.Bool("forecast", false, "attach a CoRI monitor to every SeD (history for forecastaware/contentionaware)")
 		fcAblation = flag.Bool("forecast-ablation", false, "run the forecasting ablation (A5): static vs cold vs trained scheduling")
 		dpAblation = flag.Bool("deploy-ablation", false, "run the deployment+reservation ablation (A6): static plan + fixed grants vs measured-power plan + forecast-sized walltimes")
+		wsAblation = flag.Bool("warmstart-ablation", false, "run the warm-start ablation (A7): a SeD joins mid-campaign cold vs warm-started from its cluster's gossiped models")
+		joinSeD    = flag.String("join", "Nancy2", "SeD that joins in the warm-start ablation (needs a cluster sibling)")
 		rounds     = flag.Int("rounds", 2, "campaigns per trained arm in the ablations (rounds-1 train, the last measures)")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation {
+	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation {
 		*all = true
 	}
 
@@ -166,6 +169,34 @@ func main() {
 				fmt.Printf("    %s\n", c)
 			}
 		}
+		return
+	}
+
+	if *wsAblation {
+		fmt.Println("Ablation A7 — cold vs warm-started SeD join on a characterized cluster:")
+		res, err := simgrid.RunWarmStartAblation(func() simgrid.ExperimentConfig {
+			cfg := simgrid.DefaultExperiment(nil)
+			cfg.NRequests = *requests
+			cfg.Seed = *seed
+			cfg.ArrivalGapS = *arrivalGap
+			return cfg
+		}, *joinSeD, *rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" %s joins cluster %q after %d training round(s); prior services:\n", res.JoinSeD, res.Cluster, res.Rounds-1)
+		for _, p := range res.Prior {
+			fmt.Printf("   %-12s %d merged samples, confidence %.2f, delivered %.1f GFlops\n",
+				p.Service, p.Samples, p.Confidence, p.DeliveredGFlops())
+		}
+		row := func(name string, r *simgrid.ExperimentResult, j simgrid.JoinStats) {
+			fmt.Printf("  %-12s makespan %s (%.2fh)  join solves %3d  mean mispredict %5.1f%%  solves before trusted forecast %d\n",
+				name, simgrid.Hours(r.TotalS), r.MakespanHours(), j.Solves, j.MeanMispredictPct, j.SolvesToForecast)
+		}
+		row("cold join", res.Cold, res.ColdJoin)
+		row("warm join", res.Warm, res.WarmJoin)
+		fmt.Printf("  → the gossiped prior removes %.1f points of forecast error and saves %.1f%% makespan\n",
+			res.MispredictDeltaPts(), res.MakespanDeltaPct())
 		return
 	}
 

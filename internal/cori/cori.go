@@ -43,6 +43,7 @@ type Sample struct {
 	WorkGFlops float64       // caller's work estimate; 0 when unknown
 	Duration   time.Duration // compute time, excluding queue wait
 	QueueDepth int           // requests already queued when this one was admitted
+	Wait       time.Duration // observed queue wait before compute; <= 0 when unknown
 	At         time.Time     // completion time
 }
 
@@ -90,6 +91,14 @@ type history struct {
 	// Online least-squares accumulators over the *ring* contents are
 	// recomputed on demand; keeping them windowed (not lifetime sums) lets
 	// the model track servers whose delivered power drifts.
+
+	// prior is a gossiped cluster model installed by WarmStart; it is
+	// blended into Model output with priorWeight effective samples until
+	// local history outweighs it. priorAt stamps the installation so the
+	// prior's confidence keeps decaying on this monitor's clock.
+	prior       *Model
+	priorWeight float64
+	priorAt     time.Time
 }
 
 // Model is a snapshot of the forecaster's state for one service — the
@@ -124,6 +133,23 @@ type Model struct {
 	// MeanQueueDepth is the average queue depth solves met at admission —
 	// the contention signal.
 	MeanQueueDepth float64
+	// MeanWaitSeconds is the average observed queue wait of ring samples
+	// that carried one, 0 when none did.
+	MeanWaitSeconds float64
+	// WaitBaseSeconds and WaitPerDepthSeconds are the least-squares fit
+	// wait ≈ WaitBaseSeconds + WaitPerDepthSeconds·depth over samples that
+	// observed their queue wait — the measured replacement for the
+	// (queued+running) × EWMA drain approximation. WaitPerDepthSeconds is 0
+	// when the window holds no depth spread to regress on.
+	WaitBaseSeconds     float64
+	WaitPerDepthSeconds float64
+	// Warm reports that this model still carries gossiped-prior influence
+	// (WarmStart): the prior's weight fades as local history fills the ring
+	// and a full window of local samples retires it, clearing the flag.
+	// PriorWeight is the effective sample weight the prior carries in the
+	// blend.
+	Warm        bool
+	PriorWeight float64
 }
 
 // SolveSeconds predicts the duration of work GFlops under this model;
@@ -134,6 +160,21 @@ func (m Model) SolveSeconds(workGFlops float64) float64 {
 	var est scheduler.Estimate
 	m.ApplyToEstimate(&est, 0)
 	return est.ForecastSolveSeconds(workGFlops)
+}
+
+// WaitAtDepth predicts the queue wait a request admitted behind depth others
+// would see, from the wait-on-depth regression. ok is false when the window
+// held no depth spread to regress on — callers must then fall back to a
+// pending × EWMA approximation such as Monitor.DrainSeconds.
+func (m Model) WaitAtDepth(depth int) (float64, bool) {
+	if m.WaitPerDepthSeconds <= 0 {
+		return 0, false
+	}
+	w := m.WaitBaseSeconds + m.WaitPerDepthSeconds*float64(depth)
+	if w < 0 {
+		w = 0
+	}
+	return w, true
 }
 
 // DeliveredGFlops is the best available delivered-power estimate for the
@@ -194,8 +235,32 @@ func (m *Monitor) DrainSeconds(pending map[string]int, proxy Model, capacity int
 	return total / float64(capacity)
 }
 
+// DrainEstimate forecasts how long the server needs to work off its accepted
+// work: the queue-wait regression evaluated at the current depth when the
+// model has one (wait measured directly, accurate when queued jobs differ in
+// size), else the per-service pending × EWMA approximation of DrainSeconds.
+// Both diet.SeD.Estimate and the simulator's mirrored SeD price their drain
+// through this one method, so the two paths cannot drift.
+func (m *Monitor) DrainEstimate(model Model, pending map[string]int, depth, capacity int) float64 {
+	if w, ok := model.WaitAtDepth(depth); ok {
+		return w
+	}
+	return m.DrainSeconds(pending, model, capacity)
+}
+
 // Monitor collects per-service solve history for one server and forecasts
-// solve durations. It is safe for concurrent use.
+// solve durations.
+//
+// Locking contract: every exported method is safe for concurrent use — all
+// mutable state (the per-service histories, the installed priors, and the
+// clock rebound by SetNow) is guarded by one mutex, and everything handed out
+// (Model values, Snapshot contents) or taken in (Restore, WarmStart) is
+// copied, never aliased, so callers can Observe, Model, Snapshot and Restore
+// from different goroutines freely. The one obligation that remains with the
+// caller is the injected Config.Now func: when the Monitor is shared across
+// goroutines the clock itself must be safe for concurrent calls (time.Now
+// is; a test clock or the simulator's virtual clock must be single-threaded
+// or synchronized on its own).
 type Monitor struct {
 	cfg Config
 	now func() time.Time
@@ -259,13 +324,23 @@ func (m *Monitor) Observe(s Sample) {
 }
 
 // Model snapshots the forecaster state for a service. ok is false when the
-// Monitor has never observed the service.
+// Monitor has never observed the service and holds no gossiped prior for it.
 func (m *Monitor) Model(service string) (Model, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.modelLocked(service)
+}
+
+// modelLocked builds the (possibly prior-blended) model; m.mu must be held.
+func (m *Monitor) modelLocked(service string) (Model, bool) {
 	h := m.svc[service]
-	if h == nil || h.count == 0 {
+	if h == nil || (h.count == 0 && h.prior == nil) {
 		return Model{Service: service}, false
+	}
+	if h.count == 0 {
+		// Nothing observed locally yet: the warm-started prior *is* the
+		// model, trusted at its decayed confidence.
+		return m.priorModel(h, service), true
 	}
 	out := Model{
 		Service:     service,
@@ -277,9 +352,20 @@ func (m *Monitor) Model(service string) (Model, bool) {
 	// work estimate. Needs spread in work sizes: with a single distinct work
 	// value the slope is undefined and the EWMA is the better model.
 	var n, sw, sd, sww, swd float64
+	// The same windowed fit of observed queue wait on admission depth, over
+	// samples that observed their wait.
+	var wn, wx, wy, wxx, wxy float64
 	var qsum float64
 	for _, s := range h.ring {
 		qsum += float64(s.QueueDepth)
+		if s.Wait > 0 {
+			x, y := float64(s.QueueDepth), s.Wait.Seconds()
+			wn++
+			wx += x
+			wy += y
+			wxx += x * x
+			wxy += x * y
+		}
 		if s.WorkGFlops <= 0 {
 			continue
 		}
@@ -305,13 +391,149 @@ func (m *Monitor) Model(service string) (Model, bool) {
 			}
 		}
 	}
+	if wn > 0 {
+		out.MeanWaitSeconds = wy / wn
+	}
+	if wn >= 2 {
+		det := wn*wxx - wx*wx
+		// Depths are small integers, so guard the determinant absolutely as
+		// well as relatively (a constant-depth window must decline the fit).
+		if det > 1e-9 && det > 1e-9*wxx {
+			slope := (wn*wxy - wx*wy) / det
+			if slope > 0 {
+				out.WaitPerDepthSeconds = slope
+				out.WaitBaseSeconds = (wy - slope*wx) / wn
+			}
+		}
+	}
 	age := m.now().Sub(h.lastAt)
 	if age < 0 {
 		age = 0
 	}
 	out.AgeSeconds = age.Seconds()
 	out.Confidence = math.Exp2(-age.Seconds() / m.cfg.HalfLife.Seconds())
+	if h.prior != nil {
+		out = m.blendPrior(out, h)
+	}
 	return out, true
+}
+
+// priorConfidence is the installed prior's confidence decayed from its
+// installation on this monitor's clock; m.mu must be held.
+func (m *Monitor) priorConfidence(h *history) float64 {
+	age := m.now().Sub(h.priorAt)
+	if age < 0 {
+		age = 0
+	}
+	return h.prior.Confidence * math.Exp2(-age.Seconds()/m.cfg.HalfLife.Seconds())
+}
+
+// priorModel projects the installed prior as the service's whole model (no
+// local history yet); m.mu must be held.
+func (m *Monitor) priorModel(h *history, service string) Model {
+	out := *h.prior
+	out.Service = service
+	out.Window = 0
+	out.Samples = int(h.priorWeight + 0.5)
+	if out.Samples < 1 {
+		out.Samples = 1
+	}
+	out.Confidence = m.priorConfidence(h)
+	out.AgeSeconds = m.now().Sub(h.priorAt).Seconds()
+	if out.AgeSeconds < 0 {
+		out.AgeSeconds = 0
+	}
+	out.Warm = true
+	out.PriorWeight = h.priorWeight
+	return out
+}
+
+// blendPrior folds the gossiped cluster prior into the locally fitted model.
+// Weights are effective sample counts — the local lifetime count against the
+// prior's discounted weight, which additionally fades linearly as the local
+// ring fills — so a handful of local solves already shift the blend and a
+// full window of local history retires the prior entirely; m.mu must be
+// held.
+func (m *Monitor) blendPrior(local Model, h *history) Model {
+	p := *h.prior
+	wl := float64(h.count)
+	wp := h.priorWeight * (1 - float64(len(h.ring))/float64(m.cfg.Window))
+	if wp <= 0 {
+		return local
+	}
+	f := wl / (wl + wp)
+	mix := func(a, b float64) float64 { return f*a + (1-f)*b }
+	// Quantities either side may lack (slope/base pairs, means over optional
+	// fields) blend only when both sides have them, else keep whichever side
+	// does.
+	mixPair := func(la, lb, pa, pb float64) (float64, float64) {
+		switch {
+		case la > 0 && pa > 0:
+			return mix(la, pa), mix(lb, pb)
+		case la > 0:
+			return la, lb
+		default:
+			return pa, pb
+		}
+	}
+	out := local
+	out.EWMASeconds = mix(local.EWMASeconds, p.EWMASeconds)
+	out.PerGFlopSeconds, out.BaseSeconds = mixPair(local.PerGFlopSeconds, local.BaseSeconds, p.PerGFlopSeconds, p.BaseSeconds)
+	if out.PerGFlopSeconds > 0 {
+		out.MeasuredGFlops = 1 / out.PerGFlopSeconds
+	} else {
+		out.MeasuredGFlops = 0
+	}
+	out.WaitPerDepthSeconds, out.WaitBaseSeconds = mixPair(local.WaitPerDepthSeconds, local.WaitBaseSeconds, p.WaitPerDepthSeconds, p.WaitBaseSeconds)
+	out.MeanWorkGFlops, _ = mixPair(local.MeanWorkGFlops, 0, p.MeanWorkGFlops, 0)
+	out.MeanWaitSeconds, _ = mixPair(local.MeanWaitSeconds, 0, p.MeanWaitSeconds, 0)
+	out.MeanQueueDepth = mix(local.MeanQueueDepth, p.MeanQueueDepth)
+	out.Samples = h.count + int(wp+0.5)
+	// Confidence blends the local staleness signal with the prior's decayed
+	// trust, floored at the local value: fresh local samples must never be
+	// trusted less for having a prior behind them.
+	out.Confidence = math.Max(local.Confidence, mix(local.Confidence, m.priorConfidence(h)))
+	out.Warm = true
+	out.PriorWeight = wp
+	return out
+}
+
+// warmStartDiscount is how much a borrowed cluster model is trusted relative
+// to locally observed history: half weight, so local measurements take over
+// quickly once the SeD starts solving for itself.
+const warmStartDiscount = 0.5
+
+// WarmStart installs a gossiped cluster model as the prior for its service —
+// the cross-SeD sharing entry point: a fresh SeD joining a cluster the grid
+// has already characterized seeds its forecasts from the cluster model
+// instead of the power-aware fallback. The prior weighs
+// Confidence × min(Samples, Window) × ½ effective samples in later blends; a
+// lighter prior never replaces a heavier installed one, and priors with no
+// usable duration signal are ignored.
+func (m *Monitor) WarmStart(prior Model) {
+	if prior.Service == "" || prior.Samples <= 0 || prior.EWMASeconds <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	eff := math.Min(float64(prior.Samples), float64(m.cfg.Window))
+	w := prior.Confidence * eff * warmStartDiscount
+	if w <= 0 {
+		return
+	}
+	h := m.svc[prior.Service]
+	if h == nil {
+		h = &history{ring: make([]Sample, 0, m.cfg.Window)}
+		m.svc[prior.Service] = h
+	}
+	if h.prior != nil && h.priorWeight >= w {
+		return
+	}
+	p := prior
+	p.Warm = false // the stored prior is the raw cluster model
+	h.prior = &p
+	h.priorWeight = w
+	h.priorAt = m.now()
 }
 
 // Forecast predicts the solve duration of work GFlops for a service.
@@ -346,15 +568,22 @@ func (m *Monitor) Metrics(service string) map[string]float64 {
 	if !ok {
 		return map[string]float64{}
 	}
+	warm := 0.0
+	if model.Warm {
+		warm = 1
+	}
 	return map[string]float64{
-		"EST_NBSAMPLES":     float64(model.Samples),
-		"EST_TCOMP":         model.EWMASeconds,
-		"EST_TCOMP_BASE":    model.BaseSeconds,
-		"EST_TCOMP_PERGF":   model.PerGFlopSeconds,
-		"EST_MEASURED_FLOP": model.MeasuredGFlops,
-		"EST_DELIVERED":     model.DeliveredGFlops(),
-		"EST_CONFIDENCE":    model.Confidence,
-		"EST_AGE_S":         model.AgeSeconds,
-		"EST_AVG_QUEUE":     model.MeanQueueDepth,
+		"EST_NBSAMPLES":      float64(model.Samples),
+		"EST_TCOMP":          model.EWMASeconds,
+		"EST_TCOMP_BASE":     model.BaseSeconds,
+		"EST_TCOMP_PERGF":    model.PerGFlopSeconds,
+		"EST_MEASURED_FLOP":  model.MeasuredGFlops,
+		"EST_DELIVERED":      model.DeliveredGFlops(),
+		"EST_CONFIDENCE":     model.Confidence,
+		"EST_AGE_S":          model.AgeSeconds,
+		"EST_AVG_QUEUE":      model.MeanQueueDepth,
+		"EST_TWAIT_BASE":     model.WaitBaseSeconds,
+		"EST_TWAIT_PERDEPTH": model.WaitPerDepthSeconds,
+		"EST_WARM":           warm,
 	}
 }

@@ -1,0 +1,240 @@
+package cori
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// trainMonitor drives a deterministic mixed history into a monitor: two
+// services, varied work sizes, depth-correlated waits, and an installed
+// prior — every piece of state a snapshot must carry.
+func trainMonitor(m *Monitor) {
+	for i := 0; i < 20; i++ {
+		work := float64(1000 + 500*i)
+		m.Observe(Sample{
+			Service:    "zoom",
+			WorkGFlops: work,
+			Duration:   time.Duration(work / 40 * float64(time.Second)),
+			QueueDepth: i % 5,
+			Wait:       time.Duration(1+10*(i%5)) * time.Second,
+		})
+	}
+	for i := 0; i < 5; i++ {
+		m.Observe(Sample{Service: "halo", Duration: 30 * time.Second})
+	}
+	m.WarmStart(Model{Service: "merger", Samples: 10, EWMASeconds: 120, Confidence: 0.8})
+}
+
+// modelsEqual compares the full Model output of two monitors for a service.
+func modelsEqual(t *testing.T, a, b *Monitor, service string) {
+	t.Helper()
+	ma, oka := a.Model(service)
+	mb, okb := b.Model(service)
+	if oka != okb {
+		t.Fatalf("%s: ok %v vs %v", service, oka, okb)
+	}
+	if !reflect.DeepEqual(ma, mb) {
+		t.Fatalf("%s: models diverge after round-trip:\n  %+v\n  %+v", service, ma, mb)
+	}
+	for _, work := range []float64{0, 500, 5000, 50000} {
+		if ga, gb := ma.SolveSeconds(work), mb.SolveSeconds(work); math.Abs(ga-gb) > 1e-12 {
+			t.Fatalf("%s: SolveSeconds(%g) %g vs %g", service, work, ga, gb)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip is the kill-and-restart guarantee: save → load into
+// a fresh monitor → identical Model output, ring bounds and prior included.
+func TestSnapshotRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	cfg := Config{Window: 16, Now: clk.Now}
+	m := NewMonitor(cfg)
+	trainMonitor(m)
+
+	data, err := m.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewMonitor(cfg)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{"zoom", "halo", "merger", "never-seen"} {
+		modelsEqual(t, m, restored, svc)
+	}
+	// The restart keeps training: new observations continue the same ring.
+	for _, mon := range []*Monitor{m, restored} {
+		mon.Observe(Sample{Service: "zoom", WorkGFlops: 3000, Duration: 75 * time.Second, At: clk.Now()})
+	}
+	modelsEqual(t, m, restored, "zoom")
+	// Staleness decays identically on both sides of the restart.
+	clk.Advance(2 * time.Hour)
+	modelsEqual(t, m, restored, "zoom")
+}
+
+// TestSnapshotRejectsCorruptAndOldVersions covers the failure paths: corrupt
+// JSON, an old (or future) schema version, and malformed service entries.
+func TestSnapshotRejectsCorruptAndOldVersions(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte(`{"Version": 1,`)); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt JSON must be rejected, got %v", err)
+	}
+	old, err := json.Marshal(Snapshot{Version: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(old); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("old schema version must be rejected, got %v", err)
+	}
+	future, err := json.Marshal(Snapshot{Version: SnapshotVersion + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(future); err == nil {
+		t.Fatal("future schema version must be rejected")
+	}
+	m := NewMonitor(Config{})
+	if err := m.Restore(Snapshot{Version: SnapshotVersion + 1}); err == nil {
+		t.Fatal("Restore must reject a wrong-version snapshot")
+	}
+	bad := Snapshot{Version: SnapshotVersion, Services: []ServiceSnapshot{{Service: ""}}}
+	if err := m.Restore(bad); err == nil {
+		t.Fatal("Restore must reject a nameless service entry")
+	}
+	dup := Snapshot{Version: SnapshotVersion, Services: []ServiceSnapshot{
+		{Service: "a", Count: 1}, {Service: "a", Count: 2},
+	}}
+	if err := m.Restore(dup); err == nil {
+		t.Fatal("Restore must reject duplicate service entries")
+	}
+}
+
+// TestSnapshotFilePersistence exercises the atomic file path end to end and
+// the missing-file boot case.
+func TestSnapshotFilePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "monitor.json")
+
+	clk := newFakeClock()
+	m := NewMonitor(Config{Now: clk.Now})
+	if err := m.LoadFile(path); err == nil {
+		t.Fatal("loading a missing snapshot must error")
+	}
+	trainMonitor(m)
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter after a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("save must leave exactly the snapshot, found %d entries", len(entries))
+	}
+	restored := NewMonitor(Config{Now: clk.Now})
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{"zoom", "halo", "merger"} {
+		modelsEqual(t, m, restored, svc)
+	}
+	// A save over an existing snapshot replaces it atomically.
+	m.Observe(Sample{Service: "zoom", WorkGFlops: 9000, Duration: 225 * time.Second})
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	again := NewMonitor(Config{Now: clk.Now})
+	if err := again.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	modelsEqual(t, m, again, "zoom")
+	// Corrupting the file surfaces at load.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := again.LoadFile(path); err == nil {
+		t.Fatal("loading a corrupt snapshot file must error")
+	}
+}
+
+// TestRestoreClipsToWindow loads a wide snapshot into a narrower monitor:
+// the restoring configuration wins and only the newest samples survive.
+func TestRestoreClipsToWindow(t *testing.T) {
+	wide := NewMonitor(Config{Window: 64})
+	for i := 0; i < 64; i++ {
+		work := float64(1000 + 100*i)
+		speed := 10.0
+		if i >= 56 { // the newest 8 run on a faster regime
+			speed = 100
+		}
+		wide.Observe(Sample{Service: "svc", WorkGFlops: work, Duration: time.Duration(work / speed * float64(time.Second))})
+	}
+	narrow := NewMonitor(Config{Window: 8})
+	if err := narrow.Restore(wide.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	model, ok := narrow.Model("svc")
+	if !ok {
+		t.Fatal("restored monitor must hold the service")
+	}
+	if model.Window != 8 {
+		t.Fatalf("Window = %d, want clipped to 8", model.Window)
+	}
+	if model.Samples != 64 {
+		t.Fatalf("lifetime Samples = %d, want 64 preserved", model.Samples)
+	}
+	if math.Abs(model.MeasuredGFlops-100) > 1 {
+		t.Fatalf("clip must keep the newest samples: MeasuredGFlops = %g, want ≈100", model.MeasuredGFlops)
+	}
+}
+
+// TestConcurrentSnapshotRestore exercises the full locking contract under
+// -race: observations, model reads, snapshots, restores and warm starts from
+// concurrent goroutines.
+func TestConcurrentSnapshotRestore(t *testing.T) {
+	m := NewMonitor(Config{Window: 16})
+	trainMonitor(m)
+	snap := m.Snapshot()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch g % 3 {
+				case 0:
+					m.Observe(Sample{Service: "zoom", WorkGFlops: float64(1000 + i), Duration: time.Second, QueueDepth: i % 4, Wait: time.Second})
+					m.WarmStart(Model{Service: "merger", Samples: 5, EWMASeconds: 60, Confidence: 0.9})
+				case 1:
+					if model, ok := m.Model("zoom"); ok {
+						m.DrainEstimate(model, map[string]int{"zoom": 2}, 2, 1)
+					}
+					m.Metrics("halo")
+					m.Services()
+				default:
+					s := m.Snapshot()
+					if err := m.Restore(snap); err != nil {
+						t.Error(err)
+						return
+					}
+					_ = s
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, ok := m.Model("zoom"); !ok {
+		t.Fatal("monitor must still answer after the concurrent storm")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cori"
 	"repro/internal/naming"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
@@ -31,9 +32,10 @@ func (k AgentKind) String() string {
 
 // ChildInfo describes a component attached below an agent.
 type ChildInfo struct {
-	Name string
-	Addr string
-	Kind string // "SeD" or "LA"
+	Name    string
+	Addr    string
+	Kind    string // "SeD" or "LA"
+	Cluster string // resource class of a SeD, for model gossip ("" = unlabelled)
 }
 
 // AgentConfig configures an agent.
@@ -109,6 +111,10 @@ type Agent struct {
 	children map[string]ChildInfo
 	missed   map[string]int
 
+	// registry is the cluster-keyed store of child SeD models, filled by
+	// gossip rounds and queried when a fresh SeD registers (warm start).
+	registry *cori.Registry
+
 	stop     chan struct{}
 	stopOnce sync.Once
 
@@ -142,6 +148,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		server:   rpc.NewServer(),
 		children: make(map[string]ChildInfo),
 		missed:   make(map[string]int),
+		registry: cori.NewRegistry(),
 		stop:     make(chan struct{}),
 	}, nil
 }
@@ -181,9 +188,9 @@ func (a *Agent) Start() error {
 		if err != nil {
 			return fmt.Errorf("diet: agent %s resolving parent %q: %w", a.cfg.Name, a.cfg.Parent, err)
 		}
-		var ok bool
+		var reply ChildRegisterReply
 		err = rpc.Call(parent.Addr, "agent:"+a.cfg.Parent, "ChildRegister",
-			ChildInfo{Name: a.cfg.Name, Addr: a.addr, Kind: "LA"}, &ok)
+			ChildInfo{Name: a.cfg.Name, Addr: a.addr, Kind: "LA"}, &reply)
 		if err != nil {
 			return fmt.Errorf("diet: agent %s attaching to parent %q: %w", a.cfg.Name, a.cfg.Parent, err)
 		}
@@ -211,6 +218,9 @@ func (a *Agent) monitor() {
 			return
 		case <-ticker.C:
 			a.SweepChildren()
+			// Gossip rides the heartbeat: the same traffic that proves a
+			// child alive also carries its models up the hierarchy.
+			a.GossipRound()
 		}
 	}
 }
@@ -465,7 +475,25 @@ func (a *Agent) handler() rpc.Handler {
 			if err := a.childRegister(c); err != nil {
 				return nil, err
 			}
-			return rpc.Encode(true)
+			reply := ChildRegisterReply{OK: true}
+			if c.Kind == "SeD" && c.Cluster != "" {
+				// Hand the joiner its cluster's merged models: a SeD on a
+				// known cluster warm-starts instead of running cold.
+				reply.Prior = a.registry.PriorsFor(c.Cluster)
+			}
+			return rpc.Encode(reply)
+		},
+		"GossipRegistry": func(body []byte) ([]byte, error) {
+			var snap cori.RegistrySnapshot
+			if err := rpc.Decode(body, &snap); err != nil {
+				return nil, err
+			}
+			// Down-gossip: fold the parent's view in; the reply carries this
+			// subtree's view back up.
+			if err := a.registry.Merge(snap); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(a.registry.Snapshot())
 		},
 		"Collect": func(body []byte) ([]byte, error) {
 			var req CollectRequest

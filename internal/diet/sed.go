@@ -52,7 +52,7 @@ type SeDConfig struct {
 	Capacity    int     // concurrent solves; the paper's SeDs run 1
 	PowerGFlops float64 // advertised processing power of the backing machines
 	MemMB       float64 // advertised memory
-	Cluster     string  // cluster label, e.g. "Toulouse" (reporting only)
+	Cluster     string  // cluster label, e.g. "Toulouse" — the model-gossip resource class
 	WorkDir     string  // scratch directory for services that write files
 	Local       bool    // serve in-process instead of TCP
 	ListenAddr  string  // TCP listen address when Local is false ("" = :0)
@@ -216,11 +216,18 @@ func (s *SeD) Start() error {
 		if err != nil {
 			return fmt.Errorf("diet: SeD %s resolving parent %q: %w", s.cfg.Name, s.cfg.Parent, err)
 		}
-		var ok bool
+		var reply ChildRegisterReply
 		err = rpc.Call(parent.Addr, "agent:"+s.cfg.Parent, "ChildRegister",
-			ChildInfo{Name: s.cfg.Name, Addr: s.addr, Kind: "SeD"}, &ok)
+			ChildInfo{Name: s.cfg.Name, Addr: s.addr, Kind: "SeD", Cluster: s.cfg.Cluster}, &reply)
 		if err != nil {
 			return fmt.Errorf("diet: SeD %s attaching to parent %q: %w", s.cfg.Name, s.cfg.Parent, err)
+		}
+		if len(reply.Prior) > 0 {
+			// The parent knows this cluster: warm-start the monitor from the
+			// gossiped cluster models so the first estimates already carry a
+			// confident forecast.
+			s.WarmStart(reply.Prior)
+			publish(s.cfg.Events, "SeD:"+s.cfg.Name, "warm_start", fmt.Sprintf("%d cluster models", len(reply.Prior)))
 		}
 	}
 	publish(s.cfg.Events, "SeD:"+s.cfg.Name, "start", s.addr)
@@ -255,6 +262,31 @@ func (s *SeD) dispatch() {
 // Monitor exposes the SeD's CoRI resource monitor (for tests and tools).
 func (s *SeD) Monitor() *cori.Monitor { return s.monitor }
 
+// Models snapshots the monitor's per-service models — the SeD's contribution
+// to the agent hierarchy's gossip registry. Models still carrying gossiped-
+// prior influence (Warm) are withheld: a SeD only contributes what it has
+// measured itself, so borrowed cluster models cannot echo back into the
+// registry as independent confirmation.
+func (s *SeD) Models() []cori.Model {
+	services := s.monitor.Services()
+	out := make([]cori.Model, 0, len(services))
+	for _, svc := range services {
+		if model, ok := s.monitor.Model(svc); ok && !model.Warm {
+			out = append(out, model)
+		}
+	}
+	return out
+}
+
+// WarmStart seeds the SeD's monitor with gossiped cluster models (see
+// cori.Monitor.WarmStart); estimates for the seeded services carry a
+// forecast with nonzero confidence before the SeD has solved anything.
+func (s *SeD) WarmStart(models []cori.Model) {
+	for _, m := range models {
+		s.monitor.WarmStart(m)
+	}
+}
+
 // Estimate builds this SeD's estimation vector for a service, including the
 // CoRI forecast extension when the monitor has history for it.
 func (s *SeD) Estimate(service string) EstimateReply {
@@ -279,9 +311,11 @@ func (s *SeD) Estimate(service string) EstimateReply {
 		LastSolveSeconds: lastSolve,
 	}
 	if model, okM := s.monitor.Model(service); okM {
-		// Drain priced per pending service: five queued hour-long solves of
-		// another service must not be forecast at this service's EWMA.
-		model.ApplyToEstimate(&est, s.monitor.DrainSeconds(pending, model, s.cfg.Capacity))
+		// Drain from the queue-wait regression when the model has one (wait
+		// measured directly on this server), else priced per pending service
+		// — five queued hour-long solves of another service must not be
+		// forecast at this service's EWMA.
+		model.ApplyToEstimate(&est, s.monitor.DrainEstimate(model, pending, queued+running, s.cfg.Capacity))
 	}
 	return EstimateReply{OK: ok, Est: est}
 }
@@ -370,11 +404,19 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	}
 	// Feed the CoRI monitor so the next Estimate carries a fitted forecast.
 	// Failed solves are excluded: their durations do not predict service time.
+	// The observed wait (everything between admission and compute start,
+	// clamped positive so it reads as known) trains the wait-on-depth
+	// regression behind Model.WaitAtDepth.
+	wait := solveStart.Sub(enq)
+	if wait <= 0 {
+		wait = time.Microsecond
+	}
 	s.monitor.Observe(cori.Sample{
 		Service:    p.Service,
 		WorkGFlops: p.WorkGFlops,
 		Duration:   compute,
 		QueueDepth: depthAtAdmission,
+		Wait:       wait,
 	})
 	s.storePersistent(p)
 	return &SolveReply{
@@ -491,6 +533,9 @@ func (s *SeD) handler() rpc.Handler {
 		},
 		"Services": func([]byte) ([]byte, error) {
 			return rpc.Encode(s.ServiceNames())
+		},
+		"Models": func([]byte) ([]byte, error) {
+			return rpc.Encode(ModelsReply{Cluster: s.cfg.Cluster, At: time.Now(), Models: s.Models()})
 		},
 	})
 }

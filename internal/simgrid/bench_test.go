@@ -1,0 +1,35 @@
+package simgrid
+
+import (
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+// BenchmarkExperimentForecastAware replays the paper campaign (100 requests,
+// 11 SeDs) with CoRI monitors attached — the simulator's end-to-end hot
+// path including model fitting on every estimate.
+func BenchmarkExperimentForecastAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultExperiment(scheduler.NewForecastAware())
+		cfg.Forecast = true
+		if _, err := RunExperiment(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmStartAblation measures the A7 ablation end to end: one
+// training round, registry aggregation, monitor cloning through the
+// snapshot round-trip, and both measured arms.
+func BenchmarkWarmStartAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWarmStartAblation(func() ExperimentConfig {
+			cfg := DefaultExperiment(nil)
+			cfg.NRequests = 60
+			return cfg
+		}, "Nancy2", 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package simgrid
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -144,6 +145,21 @@ type RequestRecord struct {
 	FindingMS  float64 // MA round trip: the Figure 6 "Find" series
 	LatencyMS  float64 // transfer + queue wait + init: the Figure 6 "Latency" series
 	WorkGFlops float64
+	// PredictedS is the solve duration the chosen SeD's view implied at
+	// dispatch: the CoRI model's forecast when one was trusted
+	// (PredictedByModel true), else the advertised-power estimate — the
+	// misprediction signal the warm-start ablation measures.
+	PredictedS       float64
+	PredictedByModel bool
+}
+
+// MispredictPct is the relative forecast error of this request, in percent.
+func (r RequestRecord) MispredictPct() float64 {
+	d := r.DurationS()
+	if d <= 0 {
+		return 0
+	}
+	return 100 * math.Abs(r.PredictedS-d) / d
 }
 
 // DurationS returns the compute duration.
@@ -220,10 +236,28 @@ func (s *sedState) estimate(service string) scheduler.Estimate {
 	}
 	if s.monitor != nil {
 		if model, ok := s.monitor.Model(service); ok {
-			model.ApplyToEstimate(&est, s.monitor.DrainSeconds(s.pending, model, 1))
+			model.ApplyToEstimate(&est, s.monitor.DrainEstimate(model, s.pending, s.queue+s.running, 1))
 		}
 	}
 	return est
+}
+
+// predict mirrors the schedulers' duration view of this SeD at dispatch: the
+// CoRI model when it is trusted at the shared confidence floor, else the
+// advertised-power estimate.
+func (s *sedState) predict(service string, work float64) (float64, bool) {
+	if s.monitor != nil {
+		if model, ok := s.monitor.Model(service); ok && model.Confidence >= scheduler.DefaultMinConfidence {
+			if p := model.SolveSeconds(work); p > 0 {
+				return p, true
+			}
+		}
+	}
+	power := s.advertised
+	if power <= 0 {
+		power = 1
+	}
+	return work / power, false
 }
 
 // RunExperiment replays the campaign in virtual time and returns every
@@ -307,6 +341,7 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	// via the callback when the solve finishes.
 	dispatch := func(id int, service string, work float64, findMS float64, onDone func(RequestRecord)) {
 		sed := choose(service, work, id)
+		predS, predByModel := sed.predict(service, work)
 		now := sim.Now()
 		transferS := cfg.Platform.TransferTime(maSite, sed.place.Site, cfg.NamelistKB/1024).Seconds()
 		arriveS := now + transferS
@@ -383,9 +418,11 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		rec := RequestRecord{
 			ID: id, SeD: sed.place.Name,
 			SubmitS: now, StartS: startS, EndS: endS,
-			FindingMS:  findMS,
-			LatencyMS:  (startS - now) * 1000, // transfer + queue wait + init
-			WorkGFlops: work,
+			FindingMS:        findMS,
+			LatencyMS:        (startS - now) * 1000, // transfer + queue wait + init
+			WorkGFlops:       work,
+			PredictedS:       predS,
+			PredictedByModel: predByModel,
 		}
 		sim.At(startS, func() {
 			sed.queue--
@@ -399,11 +436,20 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 			}
 			sed.lastSolve = durS
 			if sed.monitor != nil {
+				// The observed wait is everything between arrival at the SeD
+				// and compute start (queue + init + batch grants), clamped
+				// positive so a depth-0 admission still anchors the
+				// wait-on-depth regression.
+				wait := time.Duration((startS - arriveS) * float64(time.Second))
+				if wait <= 0 {
+					wait = time.Millisecond
+				}
 				sed.monitor.Observe(cori.Sample{
 					Service:    service,
 					WorkGFlops: work,
 					Duration:   time.Duration(durS * float64(time.Second)),
 					QueueDepth: depthAtAdmission,
+					Wait:       wait,
 				})
 			}
 			sed.records = append(sed.records, rec)

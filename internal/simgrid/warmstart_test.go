@@ -1,0 +1,139 @@
+package simgrid
+
+import (
+	"testing"
+
+	"repro/internal/cori"
+	"repro/internal/scheduler"
+)
+
+func warmStartConfig() ExperimentConfig {
+	cfg := DefaultExperiment(nil)
+	cfg.NRequests = 60
+	return cfg
+}
+
+// TestWarmStartAblation is the acceptance gate of the sharing layer: a SeD
+// joining a characterized (and miscalibrated) cluster with a gossiped prior
+// reaches trusted forecasts in measurably fewer solves than a cold join,
+// mispredicts less, and the campaign finishes sooner.
+func TestWarmStartAblation(t *testing.T) {
+	res, err := RunWarmStartAblation(warmStartConfig, "Nancy2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cluster != "grillon" {
+		t.Fatalf("Nancy2's cluster = %q, want grillon", res.Cluster)
+	}
+	if len(res.Prior) == 0 {
+		t.Fatal("training must produce a cluster prior")
+	}
+	if res.ColdJoin.Solves == 0 || res.WarmJoin.Solves == 0 {
+		t.Fatalf("both arms must route work to the joiner: cold %d, warm %d solves",
+			res.ColdJoin.Solves, res.WarmJoin.Solves)
+	}
+	// The warm joiner forecasts from its very first solve; the cold joiner
+	// needs at least one completed solve (and under the paper's burst
+	// workload, every dispatch decision precedes its first completion).
+	if res.WarmJoin.SolvesToForecast != 0 {
+		t.Fatalf("warm join must trust a forecast immediately, took %d solves", res.WarmJoin.SolvesToForecast)
+	}
+	if res.ColdJoin.SolvesToForecast <= res.WarmJoin.SolvesToForecast {
+		t.Fatalf("warm join must reach trusted forecasts in fewer solves: cold %d, warm %d",
+			res.ColdJoin.SolvesToForecast, res.WarmJoin.SolvesToForecast)
+	}
+	// On the CanonicalSkew platform the cold fallback trusts an advertised
+	// power ~2.9× the truth (65% relative error); the sibling prior measures
+	// the truth.
+	if res.ColdJoin.MeanMispredictPct < 30 {
+		t.Fatalf("cold join on the skewed cluster must mispredict badly, got %.1f%%", res.ColdJoin.MeanMispredictPct)
+	}
+	if res.WarmJoin.MeanMispredictPct > 10 {
+		t.Fatalf("warm join must predict accurately, got %.1f%%", res.WarmJoin.MeanMispredictPct)
+	}
+	if res.Warm.TotalS >= res.Cold.TotalS {
+		t.Fatalf("warm join must not lengthen the campaign: cold %.2fh, warm %.2fh",
+			res.Cold.MakespanHours(), res.Warm.MakespanHours())
+	}
+}
+
+// TestWarmStartAblationValidation covers the configuration errors.
+func TestWarmStartAblationValidation(t *testing.T) {
+	if _, err := RunWarmStartAblation(warmStartConfig, "NoSuchSeD", 2); err == nil {
+		t.Fatal("unknown join SeD must error")
+	}
+	// Lyon1 sits alone on its cluster in the paper deployment — no sibling
+	// to gossip a prior from.
+	cfg := warmStartConfig()
+	solo := ""
+	for _, p := range cfg.Deployment.SeDs {
+		peers := 0
+		for _, q := range cfg.Deployment.SeDs {
+			if q.Cluster == p.Cluster {
+				peers++
+			}
+		}
+		if peers == 1 {
+			solo = p.Name
+			break
+		}
+	}
+	if solo == "" {
+		t.Skip("paper deployment has no solo-cluster SeD")
+	}
+	if _, err := RunWarmStartAblation(warmStartConfig, solo, 2); err == nil {
+		t.Fatalf("join SeD %s without a cluster sibling must error", solo)
+	}
+}
+
+// TestMonitorSurvivesSimulatedRestart mirrors the dietsed persistence flags
+// in virtual time: train a monitor in one campaign, snapshot-restore it into
+// a "restarted" monitor, and verify the next campaign schedules identically
+// to carrying the live monitor over — the kill/restart loses no training.
+func TestMonitorSurvivesSimulatedRestart(t *testing.T) {
+	train := warmStartConfig()
+	train.Forecast = true
+	train.TruePowerFactor = CanonicalSkew
+	train.CoRI.HalfLife = TrainingHalfLife
+	train.Policy = scheduler.NewForecastAware()
+	train.Monitors = make(map[string]*cori.Monitor)
+	if _, err := RunExperiment(train); err != nil {
+		t.Fatal(err)
+	}
+
+	carried := train.Monitors
+	restarted := make(map[string]*cori.Monitor, len(carried))
+	for name, m := range carried {
+		clone := cori.NewMonitor(train.CoRI)
+		if err := clone.Restore(m.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		restarted[name] = clone
+	}
+
+	run := func(monitors map[string]*cori.Monitor) *ExperimentResult {
+		cfg := warmStartConfig()
+		cfg.Forecast = true
+		cfg.TruePowerFactor = CanonicalSkew
+		cfg.CoRI.HalfLife = TrainingHalfLife
+		cfg.Policy = scheduler.NewForecastAware()
+		cfg.Seed = 42
+		cfg.Monitors = monitors
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	live, revived := run(carried), run(restarted)
+	if live.TotalS != revived.TotalS {
+		t.Fatalf("restored monitors must schedule identically: live makespan %.3fh, restored %.3fh",
+			live.MakespanHours(), revived.MakespanHours())
+	}
+	for i := range live.Records {
+		if live.Records[i].SeD != revived.Records[i].SeD {
+			t.Fatalf("request %d placed on %s live but %s after restore",
+				live.Records[i].ID, live.Records[i].SeD, revived.Records[i].SeD)
+		}
+	}
+}
