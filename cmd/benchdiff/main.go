@@ -1,0 +1,178 @@
+// Command benchdiff gates benchmark trends in CI: it parses two `go test
+// -json -bench` streams (the BENCH_ci.json artifacts successive CI runs
+// archive), diffs ns/op per benchmark, and fails when any benchmark regressed
+// past a threshold — the trend gate the bench job applies between a run and
+// its predecessor.
+//
+//	benchdiff -old prev/BENCH_ci.json -new BENCH_ci.json -threshold 25
+//
+// Benchmarks present on only one side are reported but never fail the gate
+// (new benchmarks appear, retired ones vanish). -allow-regression downgrades
+// failures to warnings — the CI escape hatch behind the bench-regression-ok
+// label.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` stream benchdiff reads.
+type testEvent struct {
+	Action  string
+	Package string
+	Output  string
+}
+
+// benchLine matches a benchmark result line inside an Output event:
+// name, optional -GOMAXPROCS suffix, iteration count, ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// ParseBench extracts benchmark results from a `go test -json` stream,
+// keyed "package/BenchmarkName" (the -N GOMAXPROCS suffix is stripped so a
+// runner-core change does not rename every key). A benchmark appearing more
+// than once keeps its last value. Non-JSON lines and events without
+// benchmark output are skipped.
+func ParseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue // a truncated artifact line must not kill the gate
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(ev.Output))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		out[ev.Package+"/"+m[1]] = ns
+	}
+	return out, sc.Err()
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name   string
+	OldNS  float64
+	NewNS  float64
+	Pct    float64 // (new-old)/old × 100; positive = slower
+	Regred bool    // past the threshold
+}
+
+// Diff compares two parsed benchmark sets against a regression threshold in
+// percent. Only benchmarks present on both sides are compared; the returned
+// slices list those only-old (gone) and only-new (fresh) names, sorted.
+func Diff(prev, curr map[string]float64, thresholdPct float64) (deltas []Delta, gone, fresh []string) {
+	for name, o := range prev {
+		n, ok := curr[name]
+		if !ok {
+			gone = append(gone, name)
+			continue
+		}
+		pct := 100 * (n - o) / o
+		deltas = append(deltas, Delta{
+			Name: name, OldNS: o, NewNS: n, Pct: pct,
+			Regred: pct > thresholdPct,
+		})
+	}
+	for name := range curr {
+		if _, ok := prev[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Strings(gone)
+	sort.Strings(fresh)
+	return deltas, gone, fresh
+}
+
+// Run executes the gate and writes the report; it returns an error when the
+// gate fails (a regression without -allow-regression, or unusable input).
+func Run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		oldPath   = fs.String("old", "", "previous run's go test -json bench stream")
+		newPath   = fs.String("new", "", "this run's go test -json bench stream")
+		threshold = fs.Float64("threshold", 25, "ns/op regression threshold, percent")
+		allow     = fs.Bool("allow-regression", false, "report regressions but exit 0 (CI override label)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("benchdiff: both -old and -new are required")
+	}
+	parse := func(path string) (map[string]float64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ParseBench(f)
+	}
+	prev, err := parse(*oldPath)
+	if err != nil {
+		return fmt.Errorf("benchdiff: reading old: %w", err)
+	}
+	curr, err := parse(*newPath)
+	if err != nil {
+		return fmt.Errorf("benchdiff: reading new: %w", err)
+	}
+	if len(prev) == 0 {
+		return fmt.Errorf("benchdiff: %s holds no benchmark results", *oldPath)
+	}
+	if len(curr) == 0 {
+		return fmt.Errorf("benchdiff: %s holds no benchmark results", *newPath)
+	}
+
+	deltas, gone, fresh := Diff(prev, curr, *threshold)
+	regressed := 0
+	for _, d := range deltas {
+		mark := " "
+		if d.Regred {
+			mark = "!"
+			regressed++
+		}
+		fmt.Fprintf(stdout, "%s %-60s %12.0f -> %12.0f ns/op  %+7.1f%%\n", mark, d.Name, d.OldNS, d.NewNS, d.Pct)
+	}
+	for _, name := range gone {
+		fmt.Fprintf(stdout, "- %-60s retired\n", name)
+	}
+	for _, name := range fresh {
+		fmt.Fprintf(stdout, "+ %-60s new\n", name)
+	}
+	fmt.Fprintf(stdout, "%d compared, %d regressed past %+.0f%%, %d retired, %d new\n",
+		len(deltas), regressed, *threshold, len(gone), len(fresh))
+	if regressed > 0 && !*allow {
+		return fmt.Errorf("benchdiff: %d benchmark(s) regressed past %.0f%%", regressed, *threshold)
+	}
+	return nil
+}
+
+func main() {
+	if err := Run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchFixture(t *testing.T) {
+	f, err := os.Open("testdata/old.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ParseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"repro/internal/cori/BenchmarkObserve":             1052,
+		"repro/internal/cori/BenchmarkModelFit":            8210,
+		"repro/internal/scheduler/BenchmarkRankForecast":   2200,
+		"repro/internal/simgrid/BenchmarkAblationForecast": 52000000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Fatalf("%s = %g, want %g", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchSurvivesGarbage(t *testing.T) {
+	in := strings.NewReader(`not json at all
+{"Action":"output","Package":"p","Output":"BenchmarkX-4 \t 10\t 500 ns/op\n"}
+{"Action":"output","Package":"p","Output":"no benchmark here\n"}
+{truncated
+{"Action":"run","Package":"p","Output":"BenchmarkY-4 \t 10\t 900 ns/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkZ-4 \t 10\t -7 ns/op\n"}
+`)
+	got, err := ParseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["p/BenchmarkX"] != 500 {
+		t.Fatalf("want only p/BenchmarkX=500, got %v", got)
+	}
+}
+
+func TestDiffThresholds(t *testing.T) {
+	prev := map[string]float64{"p/A": 100, "p/B": 100, "p/C": 100, "p/Gone": 10}
+	curr := map[string]float64{"p/A": 124, "p/B": 126, "p/C": 40, "p/Fresh": 5}
+	deltas, gone, fresh := Diff(prev, curr, 25)
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("want 3 compared, got %v", deltas)
+	}
+	if byName["p/A"].Regred {
+		t.Fatalf("+24%% must pass a 25%% threshold: %+v", byName["p/A"])
+	}
+	if !byName["p/B"].Regred {
+		t.Fatalf("+26%% must fail a 25%% threshold: %+v", byName["p/B"])
+	}
+	if byName["p/C"].Regred || byName["p/C"].Pct > 0 {
+		t.Fatalf("a speedup must never regress: %+v", byName["p/C"])
+	}
+	if len(gone) != 1 || gone[0] != "p/Gone" || len(fresh) != 1 || fresh[0] != "p/Fresh" {
+		t.Fatalf("gone=%v fresh=%v", gone, fresh)
+	}
+}
+
+// TestRunFailsOnSlowdownFixture is the CI acceptance pair: the gate must
+// fail the synthetic 2× slowdown fixture and pass the parity fixture.
+func TestRunFailsOnSlowdownFixture(t *testing.T) {
+	var out strings.Builder
+	err := Run([]string{"-old", "testdata/old.json", "-new", "testdata/slow2x.json"}, &out)
+	if err == nil {
+		t.Fatalf("2x slowdown must fail the gate; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkObserve") || !strings.Contains(out.String(), "! ") {
+		t.Fatalf("report must flag the regressed benchmark:\n%s", out.String())
+	}
+}
+
+func TestRunPassesOnParityFixture(t *testing.T) {
+	var out strings.Builder
+	if err := Run([]string{"-old", "testdata/old.json", "-new", "testdata/parity.json"}, &out); err != nil {
+		t.Fatalf("parity must pass the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "4 compared, 0 regressed") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}
+
+func TestRunOverrideAllowsRegression(t *testing.T) {
+	var out strings.Builder
+	err := Run([]string{"-old", "testdata/old.json", "-new", "testdata/slow2x.json", "-allow-regression"}, &out)
+	if err != nil {
+		t.Fatalf("-allow-regression must downgrade the failure: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 regressed") {
+		t.Fatalf("override must still report the regression:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsEmptyInputs(t *testing.T) {
+	empty := "testdata/empty.json"
+	if err := os.WriteFile(empty, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Remove(empty) })
+	var out strings.Builder
+	if err := Run([]string{"-old", empty, "-new", "testdata/parity.json"}, &out); err == nil {
+		t.Fatal("an artifact with no benchmarks must fail loudly, not pass vacuously")
+	}
+	if err := Run([]string{"-old", "testdata/old.json"}, &out); err == nil {
+		t.Fatal("missing -new must be rejected")
+	}
+}

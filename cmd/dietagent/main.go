@@ -16,12 +16,23 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"repro/internal/deploy"
 	"repro/internal/diet"
 	"repro/internal/naming"
+	"repro/internal/platform"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
 )
+
+// logSink writes middleware trace events to the process log — the minimal
+// LogService stand-in, so a self-replanning MA's migrations are observable.
+type logSink struct{}
+
+func (logSink) Publish(component, kind, detail string) {
+	log.Printf("event %-14s %-16s %s", kind, component, detail)
+}
 
 func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -37,6 +48,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for the random policy")
 		heartbeat  = flag.Duration("heartbeat", 0, "ping children every interval, evicting dead ones; each sweep also gossips CoRI models through the hierarchy (0 = off)")
 		maxMissed  = flag.Int("max-missed", 3, "consecutive missed heartbeats before a child is evicted")
+		replanInt  = flag.Duration("replan-interval", 0, "live replanning cadence: re-plan the paper deployment from the gossip registry and migrate SeDs online (needs -heartbeat; 0 = off)")
+		replanSvc  = flag.String("replan-service", "ramsesZoom2", "service whose measured models drive live replanning")
+		evictConf  = flag.Float64("evict-confidence", 0, "expire gossip-registry contributions whose decayed confidence falls below this floor (0 = keep forever)")
+		evictHL    = flag.Duration("evict-halflife", time.Hour, "confidence decay half-life registry eviction uses")
+		logEvents  = flag.Bool("log-events", false, "log middleware trace events (registrations, evictions, replans, migrations)")
 	)
 	flag.Parse()
 
@@ -71,11 +87,27 @@ func main() {
 		log.Fatal(err)
 	}
 
-	agent, err := diet.NewAgent(diet.AgentConfig{
+	cfg := diet.AgentConfig{
 		Name: *name, Kind: agentKind, Parent: *parent,
 		Naming: *namingAddr, Policy: pol, ListenAddr: *listen,
 		HeartbeatInterval: *heartbeat, MaxMissed: *maxMissed,
-	})
+		EvictConfidenceFloor: *evictConf, EvictHalfLife: *evictHL,
+	}
+	if *logEvents {
+		cfg.Events = logSink{}
+	}
+	if *replanInt > 0 {
+		if *heartbeat <= 0 {
+			log.Fatal("-replan-interval rides the heartbeat sweeps; set -heartbeat too")
+		}
+		if agentKind != diet.MasterAgent {
+			log.Fatal("-replan-interval is a Master Agent role")
+		}
+		cfg.ReplanInterval = *replanInt
+		cfg.Replanner = deploy.LiveReplanner(platform.PaperDeployment(), *replanSvc)
+		log.Printf("live replanning every %s from %q models", *replanInt, *replanSvc)
+	}
+	agent, err := diet.NewAgent(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

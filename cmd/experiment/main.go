@@ -44,10 +44,12 @@ func main() {
 		dpAblation = flag.Bool("deploy-ablation", false, "run the deployment+reservation ablation (A6): static plan + fixed grants vs measured-power plan + forecast-sized walltimes")
 		wsAblation = flag.Bool("warmstart-ablation", false, "run the warm-start ablation (A7): a SeD joins mid-campaign cold vs warm-started from its cluster's gossiped models")
 		joinSeD    = flag.String("join", "Nancy2", "SeD that joins in the warm-start ablation (needs a cluster sibling)")
+		rpAblation = flag.Bool("replan-ablation", false, "run the live-replanning ablation (A8): frozen plan vs live mid-campaign replanning+migration vs offline replan restart")
+		rpInterval = flag.Float64("replan-interval", 0, "live arm replanning cadence, seconds (0 = the A8 default, 6h)")
 		rounds     = flag.Int("rounds", 2, "campaigns per trained arm in the ablations (rounds-1 train, the last measures)")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation {
+	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation && !*rpAblation {
 		*all = true
 	}
 
@@ -197,6 +199,52 @@ func main() {
 		row("warm join", res.Warm, res.WarmJoin)
 		fmt.Printf("  → the gossiped prior removes %.1f points of forecast error and saves %.1f%% makespan\n",
 			res.MispredictDeltaPts(), res.MakespanDeltaPct())
+		return
+	}
+
+	if *rpAblation {
+		fmt.Println("Ablation A8 — frozen static plan vs live replanning+migration vs offline replan restart:")
+		res, err := simgrid.RunReplanAblation(func() simgrid.ExperimentConfig {
+			cfg := simgrid.DefaultExperiment(nil)
+			cfg.NRequests = *requests
+			cfg.Seed = *seed
+			cfg.ArrivalGapS = *arrivalGap
+			return cfg
+		}, simgrid.ReplanAblationConfig{Rounds: *rounds, ReplanIntervalS: *rpInterval})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := res.Config
+		fmt.Printf(" drifting/miscalibrated platform: CanonicalSkew, plus %s drifting to %.0f%% at %s;\n",
+			c.DriftSeD, 100*c.DriftFactor, simgrid.Hours(c.DriftAtS))
+		fmt.Printf(" %s misdeployed under %s at bring-up; live arm replans every %s\n",
+			c.MisplacedSeD, c.MisplacedParent, simgrid.Hours(c.ReplanIntervalS))
+		row := func(name string, r *simgrid.ExperimentResult) {
+			fmt.Printf("  %-26s makespan %s (%.2fh)\n", name, simgrid.Hours(r.TotalS), r.MakespanHours())
+		}
+		row("static plan (frozen)", res.Static)
+		row("live replanning", res.Live)
+		row("offline replan (restart)", res.Offline)
+		fmt.Printf("  → live replanning saves %.1f%% makespan with no restart — %.1f%% of the offline-replan win (%.1f%%)\n",
+			res.LiveGainPct(), res.RecoveryPct(), res.OfflineGainPct())
+		for _, ev := range res.Live.Replans {
+			if ev.PowerUpdates == 0 && len(ev.Moved) == 0 {
+				continue
+			}
+			fmt.Printf("  replan @%6s: %d power update(s), migrated %v\n",
+				simgrid.Hours(ev.AtS), ev.PowerUpdates, ev.Moved)
+		}
+		if ok, why := res.FirstPostMoveForecastTrusted(); ok {
+			fmt.Println("  every migrated SeD kept a trusted model through its move (snapshot travels with the reparent)")
+		} else {
+			fmt.Printf("  WARNING: %s\n", why)
+		}
+		if len(res.Changes) > 0 {
+			fmt.Printf("  offline replan placements (after %d training round(s)):\n", res.Config.Rounds-1)
+			for _, ch := range res.Changes {
+				fmt.Printf("    %s\n", ch)
+			}
+		}
 		return
 	}
 

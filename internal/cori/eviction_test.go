@@ -1,0 +1,129 @@
+package cori
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// reportAt is a test helper: one source reporting a single trained model at a
+// given time with a given at-report confidence.
+func reportAt(r *Registry, source, cluster string, at time.Time, confidence float64) {
+	r.Update(source, cluster, at, []Model{{
+		Service: "zoom", Samples: 10, Confidence: confidence, EWMASeconds: 30,
+	}})
+}
+
+// TestRegistryEvictStaleThresholds drives the eviction rule over the decay
+// table: effective confidence = reported × 2^(-age/halfLife), evicted when it
+// drops below the floor.
+func TestRegistryEvictStaleThresholds(t *testing.T) {
+	epoch := time.Unix(1_000_000_000, 0).UTC()
+	halfLife := time.Hour
+	cases := []struct {
+		name       string
+		confidence float64 // at report time
+		age        time.Duration
+		floor      float64
+		evicted    bool
+	}{
+		{"fresh full confidence stays", 1.0, 0, 0.05, false},
+		{"one half-life halves", 1.0, time.Hour, 0.49, false},
+		{"one half-life below a high floor", 1.0, time.Hour, 0.51, true},
+		{"five half-lives decay past 5%", 1.0, 5 * time.Hour, 0.05, true},
+		{"weak report dies quickly", 0.2, 2 * time.Hour, 0.06, true},
+		{"weak but recent survives a low floor", 0.2, 0, 0.05, false},
+		{"below-floor but live source never churns", 0.03, 30 * time.Second, 0.05, false},
+		{"below-floor and stale is evicted", 0.03, time.Hour, 0.02, true},
+		{"future report reads as recent", 1.0, -time.Hour, 0.99, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			reportAt(r, "sed", "grillon", epoch, tc.confidence)
+			removed := r.EvictStale(epoch.Add(tc.age), halfLife, tc.floor)
+			if got := len(removed) == 1; got != tc.evicted {
+				t.Fatalf("evicted=%v, want %v (removed %v)", got, tc.evicted, removed)
+			}
+			_, held := r.SourceModel("sed", "zoom")
+			if held == tc.evicted {
+				t.Fatalf("SourceModel held=%v after eviction=%v", held, tc.evicted)
+			}
+		})
+	}
+}
+
+// TestRegistryEvictStaleKeepsBestModel checks a source survives on its best
+// model: one stale service plus one fresh service must keep the contribution.
+func TestRegistryEvictStaleKeepsBestModel(t *testing.T) {
+	epoch := time.Unix(1_000_000_000, 0).UTC()
+	r := NewRegistry()
+	r.Update("sed", "grillon", epoch, []Model{
+		{Service: "old", Samples: 10, Confidence: 0.01, EWMASeconds: 30},
+		{Service: "hot", Samples: 10, Confidence: 0.9, EWMASeconds: 40},
+	})
+	if removed := r.EvictStale(epoch, time.Hour, 0.1); len(removed) != 0 {
+		t.Fatalf("a source with one trusted model must survive, removed %v", removed)
+	}
+	// Disabled sweeps are no-ops.
+	if removed := r.EvictStale(epoch, 0, 0.1); removed != nil {
+		t.Fatalf("halfLife<=0 must disable eviction, removed %v", removed)
+	}
+	if removed := r.EvictStale(epoch, time.Hour, 0); removed != nil {
+		t.Fatalf("floor<=0 must disable eviction, removed %v", removed)
+	}
+}
+
+// TestRegistryEvictionGossipConvergence proves eviction does not disturb
+// gossip convergence: after both peers sweep with the same rule, exchanging
+// snapshots in both directions still converges — to the evicted state, with
+// the fresh contributions' priors intact and identical on both sides.
+func TestRegistryEvictionGossipConvergence(t *testing.T) {
+	epoch := time.Unix(1_000_000_000, 0).UTC()
+	now := epoch.Add(10 * time.Hour)
+	a, b := NewRegistry(), NewRegistry()
+	// Both registries know the stale veteran; each also holds a fresh source
+	// the other has not seen yet.
+	reportAt(a, "stale-sed", "grillon", epoch, 1.0)
+	reportAt(b, "stale-sed", "grillon", epoch, 1.0)
+	reportAt(a, "fresh-a", "grillon", now, 0.9)
+	reportAt(b, "fresh-b", "violette", now, 0.8)
+
+	for _, r := range []*Registry{a, b} {
+		removed := r.EvictStale(now, time.Hour, 0.05)
+		if !reflect.DeepEqual(removed, []string{"stale-sed"}) {
+			t.Fatalf("sweep must remove exactly the stale source, got %v", removed)
+		}
+	}
+
+	// One full exchange: a's snapshot into b, b's into a (the heartbeat
+	// gossip pattern), then a second sweep as the next round would run.
+	if err := b.Merge(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	a.EvictStale(now, time.Hour, 0.05)
+	b.EvictStale(now, time.Hour, 0.05)
+
+	for name, r := range map[string]*Registry{"a": a, "b": b} {
+		if _, held := r.SourceModel("stale-sed", "zoom"); held {
+			t.Fatalf("registry %s resurrected the evicted source", name)
+		}
+		for _, fresh := range []string{"fresh-a", "fresh-b"} {
+			if _, held := r.SourceModel(fresh, "zoom"); !held {
+				t.Fatalf("registry %s lost fresh source %s to eviction", name, fresh)
+			}
+		}
+	}
+	// The merged cluster priors are identical on both sides — convergence.
+	pa, okA := a.Prior("grillon", "zoom")
+	pb, okB := b.Prior("grillon", "zoom")
+	if !okA || !okB || !reflect.DeepEqual(pa, pb) {
+		t.Fatalf("post-eviction priors diverge: a=%+v (%v) b=%+v (%v)", pa, okA, pb, okB)
+	}
+	if pa.Samples != 10 {
+		t.Fatalf("prior must hold only the fresh contribution, got %d samples", pa.Samples)
+	}
+}

@@ -2,6 +2,7 @@ package cori
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -113,6 +114,84 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	return out
 }
 
+// SourceModel returns the model one source (SeD) last reported for a
+// service. Contributions are per-source, so a live Master Agent can plan
+// deployments from exactly what each SeD measured for itself rather than the
+// cluster blend — the capability view deploy.RegistrySource adapts.
+func (r *Registry) SourceModel(source, service string) (Model, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sm, ok := r.sources[source]
+	if !ok {
+		return Model{}, false
+	}
+	m, ok := sm.Models[service]
+	return m, ok
+}
+
+// SourceSnapshot wraps a single source's contribution as a gossipable
+// snapshot. The migration protocol uses it to hand a moving SeD's registry
+// contribution straight to its new parent, so the receiving subtree knows the
+// mover's models before the next full gossip round. ok is false when the
+// registry holds nothing for the source.
+func (r *Registry) SourceSnapshot(source string) (RegistrySnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sm, ok := r.sources[source]
+	if !ok {
+		return RegistrySnapshot{}, false
+	}
+	cp := SourceModels{Cluster: sm.Cluster, At: sm.At, Models: make(map[string]Model, len(sm.Models))}
+	for svc, m := range sm.Models {
+		cp.Models[svc] = m
+	}
+	return RegistrySnapshot{Version: SnapshotVersion, Sources: map[string]SourceModels{source: cp}}, true
+}
+
+// EvictStale expires contributions whose forecast confidence has fully
+// decayed: each source's best model confidence, further decayed over halfLife
+// for the time since the source reported, must stay at or above minConfidence
+// or the whole contribution is dropped. Long-lived agents call this on every
+// gossip round so registries do not accumulate dead SeDs forever.
+//
+// Eviction targets *stale* contributions, so a source is only considered
+// once it has gone at least one halfLife without reporting: a live SeD that
+// gossips every round but happens to carry low-confidence models must not be
+// evicted and re-added in an endless churn.
+//
+// Eviction is local and idempotent. A peer that still holds the contribution
+// may resurrect it through a later Merge, but as long as every agent sweeps
+// with the same rule the next round evicts it again everywhere, so the
+// hierarchy still converges — now to the evicted state. Returns the removed
+// source names, sorted.
+func (r *Registry) EvictStale(now time.Time, halfLife time.Duration, minConfidence float64) []string {
+	if halfLife <= 0 || minConfidence <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var removed []string
+	for source, sm := range r.sources {
+		age := now.Sub(sm.At)
+		if age < halfLife {
+			continue // recent reporter — never churn a live source
+		}
+		decay := math.Exp2(-age.Seconds() / halfLife.Seconds())
+		best := 0.0
+		for _, m := range sm.Models {
+			if c := m.Confidence * decay; c > best {
+				best = c
+			}
+		}
+		if best < minConfidence {
+			removed = append(removed, source)
+			delete(r.sources, source)
+		}
+	}
+	sort.Strings(removed)
+	return removed
+}
+
 // Prior merges every known model for (cluster, service) into the cluster
 // prior a fresh SeD should warm-start from; ok is false when no source on
 // that cluster has reported the service.
@@ -181,11 +260,33 @@ func (r *Registry) Clusters() []string {
 // barely trained one; two half-trained models merge to within tolerance of
 // one fully trained model. Models with no usable duration signal are
 // skipped; ok is false when nothing usable remains.
+//
+// Inputs arrive off the gossip wire, so the merge defends itself: models
+// carrying any non-finite numeric field are dropped (one NaN would poison
+// every weighted mean), and confidence is clamped into (0,1] before
+// weighing, keeping the merged confidence in [0,1] no matter what a peer
+// reported.
 func MergeModels(models ...Model) (Model, bool) {
+	finite := func(xs ...float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return false
+			}
+		}
+		return true
+	}
 	var usable []Model
 	var weights []float64
 	var wsum float64
 	for _, m := range models {
+		if !finite(m.Confidence, m.EWMASeconds, m.BaseSeconds, m.PerGFlopSeconds,
+			m.MeanQueueDepth, m.AgeSeconds, m.MeanWorkGFlops, m.MeanWaitSeconds,
+			m.WaitBaseSeconds, m.WaitPerDepthSeconds) {
+			continue
+		}
+		if m.Confidence > 1 {
+			m.Confidence = 1
+		}
 		w := m.Confidence * float64(m.Samples)
 		if m.Samples <= 0 || m.EWMASeconds <= 0 || w <= 0 {
 			continue
@@ -203,7 +304,11 @@ func MergeModels(models ...Model) (Model, bool) {
 	var slopeW, waitW, workW, waitsW float64
 	for i, m := range usable {
 		w := weights[i]
-		out.Samples += m.Samples
+		if out.Samples > math.MaxInt-m.Samples { // saturate instead of overflowing
+			out.Samples = math.MaxInt
+		} else {
+			out.Samples += m.Samples
+		}
 		out.EWMASeconds += w * m.EWMASeconds / wsum
 		out.Confidence += w * m.Confidence / wsum
 		out.MeanQueueDepth += w * m.MeanQueueDepth / wsum
@@ -243,6 +348,9 @@ func MergeModels(models ...Model) (Model, bool) {
 	}
 	if waitsW > 0 {
 		out.MeanWaitSeconds /= waitsW
+	}
+	if out.Confidence > 1 { // floating-point drift above the clamp
+		out.Confidence = 1
 	}
 	return out, true
 }

@@ -113,10 +113,19 @@ type Change struct {
 	NewPower float64 // confidence-blended effective power after training
 	OldRank  int     // 1-based position in the static power ordering
 	NewRank  int     // position in the measured ordering
+	// OldParent and NewParent record a placement move when the change came
+	// from a live-topology diff (DiffLive); both empty in a pure replan
+	// power diff.
+	OldParent string
+	NewParent string
 }
 
 // String renders the change the way cmd/deployplan prints it.
 func (c Change) String() string {
+	if c.NewParent != "" && c.NewParent != c.OldParent {
+		return fmt.Sprintf("%s: parent %s → %s at %.1f GFlops",
+			c.SeD, c.OldParent, c.NewParent, c.NewPower)
+	}
 	return fmt.Sprintf("%s: %.1f → %.1f GFlops, rank %d → %d",
 		c.SeD, c.OldPower, c.NewPower, c.OldRank, c.NewRank)
 }

@@ -142,6 +142,16 @@ func (p *Plan) PowerByName() map[string]float64 {
 	return out
 }
 
+// ParentByName returns the plan's SeD parent assignments keyed by name —
+// the placement map the live-replanning mirror and DiffLive consume.
+func (p *Plan) ParentByName() map[string]string {
+	out := make(map[string]string, len(p.SeDs))
+	for _, s := range p.SeDs {
+		out[s.Name] = s.Parent
+	}
+	return out
+}
+
 // Validate checks structural invariants: unique names, every parent exists,
 // LAs parent to the MA, SeDs parent to an LA.
 func (p *Plan) Validate() error {

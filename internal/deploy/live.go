@@ -1,0 +1,126 @@
+package deploy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cori"
+	"repro/internal/diet"
+	"repro/internal/platform"
+)
+
+// This file closes the replanning loop online: deploy.Replan computes the
+// measured-power plan, DiffLive diffs it against a *running* hierarchy's
+// topology, and PlanMigrations/LiveReplanner turn the difference into the
+// diet.Migration list a live Master Agent executes without restarting
+// anything (Agent.ApplyPlan + the SeD Reparent protocol). The capability
+// signal comes from the MA's own gossip registry — the same models the
+// heartbeat sweeps already carry — so a long-lived deployment keeps chasing
+// delivered, not advertised, throughput.
+
+// RegistrySource adapts an agent's gossip registry to a CapabilitySource for
+// one service: each SeD's capability is what that SeD itself last reported
+// (per-source, not the cluster blend — planning must not credit one machine
+// with its siblings' speed). Contributions arrive off the gossip wire and
+// are stored verbatim, so the adapter is the defense line: non-finite or
+// out-of-range values are treated as no capability rather than fed into
+// planning (a NaN confidence slips past every `<` comparison downstream).
+func RegistrySource(reg *cori.Registry, service string) CapabilitySource {
+	return func(sed string) (Capability, bool) {
+		if reg == nil {
+			return Capability{}, false
+		}
+		m, ok := reg.SourceModel(sed, service)
+		if !ok {
+			return Capability{}, false
+		}
+		delivered := m.DeliveredGFlops()
+		if delivered <= 0 || math.IsInf(delivered, 0) || math.IsNaN(delivered) ||
+			math.IsNaN(m.Confidence) || m.Confidence <= 0 {
+			return Capability{}, false
+		}
+		conf := m.Confidence
+		if conf > 1 {
+			conf = 1
+		}
+		return Capability{MeasuredGFlops: delivered, Confidence: conf}, true
+	}
+}
+
+// liveIndex maps a live topology through the shared TopologyNode.Index walk:
+// which agent each SeD currently sits under, and which agents exist.
+func liveIndex(live diet.TopologyNode) (parentOf map[string]string, agents map[string]bool) {
+	parentOf, _, agentAddr := live.Index()
+	agents = make(map[string]bool, len(agentAddr))
+	for name := range agentAddr {
+		agents[name] = true
+	}
+	return parentOf, agents
+}
+
+// DiffLive diffs a plan against the live hierarchy and reports the SeDs
+// sitting under a different parent than the plan places them. Planned SeDs
+// absent from the live topology are skipped (nothing to migrate), as are
+// moves whose target agent is not running (a live replan can re-wire the
+// hierarchy but not create agents). Changes are ordered by SeD name.
+func DiffLive(p *Plan, live diet.TopologyNode) []Change {
+	parentOf, agents := liveIndex(live)
+	var out []Change
+	for _, s := range p.SeDs {
+		cur, present := parentOf[s.Name]
+		if !present || cur == s.Parent || !agents[s.Parent] {
+			continue
+		}
+		out = append(out, Change{
+			SeD: s.Name, OldParent: cur, NewParent: s.Parent,
+			OldPower: s.Power, NewPower: s.Power,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SeD < out[j].SeD })
+	return out
+}
+
+// PlanMigrations renders a plan as the migration list that makes the live
+// hierarchy match it: the parent moves DiffLive reports, plus a power
+// refresh for every placement-correct SeD the plan placed by a trusted
+// measurement (so advertised power keeps tracking delivered power as models
+// drift). SeDs the plan placed by their advertised figure alone are left
+// untouched — a steady-state pass over an untrained hierarchy migrates
+// nothing and sends nothing.
+func PlanMigrations(p *Plan, live diet.TopologyNode) []diet.Migration {
+	parentOf, _ := liveIndex(live)
+	movedTo := make(map[string]string)
+	for _, c := range DiffLive(p, live) {
+		movedTo[c.SeD] = c.NewParent
+	}
+	var out []diet.Migration
+	for _, s := range p.SeDs {
+		cur, present := parentOf[s.Name]
+		if !present {
+			continue
+		}
+		switch {
+		case movedTo[s.Name] != "":
+			out = append(out, diet.Migration{SeD: s.Name, NewParent: movedTo[s.Name], NewPower: s.Power})
+		case s.Confidence > 0 && cur != "":
+			out = append(out, diet.Migration{SeD: s.Name, NewParent: cur, NewPower: s.Power})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SeD < out[j].SeD })
+	return out
+}
+
+// LiveReplanner builds the Replanner callback a long-lived Master Agent runs
+// on its replan interval (diet.AgentConfig.Replanner): re-plan the deployment
+// from the agent's gossip registry for the dominant service, then emit the
+// migrations that bring the live hierarchy to the measured plan. A failed
+// replan migrates nothing — the hierarchy keeps its current shape.
+func LiveReplanner(d platform.Deployment, service string) func(diet.TopologyNode, *cori.Registry) []diet.Migration {
+	return func(live diet.TopologyNode, reg *cori.Registry) []diet.Migration {
+		plan, _, err := Replan(d, Options{Capabilities: RegistrySource(reg, service)})
+		if err != nil {
+			return nil
+		}
+		return PlanMigrations(plan, live)
+	}
+}

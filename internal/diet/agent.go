@@ -57,6 +57,24 @@ type AgentConfig struct {
 	HeartbeatInterval time.Duration
 	// MaxMissed is the eviction threshold (default 3).
 	MaxMissed int
+	// ReplanInterval enables live periodic replanning: every interval —
+	// measured along the heartbeat sweeps, so HeartbeatInterval must also be
+	// set — the agent hands its live topology to Replanner and applies the
+	// returned migrations online (ApplyPlan). Zero disables.
+	ReplanInterval time.Duration
+	// Replanner computes the placement changes a replan wants from the live
+	// topology and this agent's gossip registry (handed in so the callback
+	// can be built before the agent exists) — typically deploy.LiveReplanner.
+	// Nil disables replanning.
+	Replanner func(live TopologyNode, reg *cori.Registry) []Migration
+	// EvictConfidenceFloor expires gossip-registry contributions whose best
+	// model confidence, decayed over EvictHalfLife since the source last
+	// reported, falls below the floor; swept at the start of every gossip
+	// round. Zero keeps every contribution forever.
+	EvictConfidenceFloor float64
+	// EvictHalfLife is the decay half-life registry eviction uses
+	// (default 1h, the cori default).
+	EvictHalfLife time.Duration
 	// Events is an optional LogService-style monitoring sink.
 	Events EventSink
 }
@@ -99,6 +117,31 @@ type TopologyNode struct {
 	Children []TopologyNode
 }
 
+// Index flattens the topology into lookup maps: each SeD's current parent
+// agent and address, and every agent's address. Both the migration executor
+// (Agent.ApplyPlan) and the planner's live diff (deploy.DiffLive) index the
+// tree through this one walk, so the two cannot disagree about its shape.
+func (n TopologyNode) Index() (parentOf, sedAddr, agentAddr map[string]string) {
+	parentOf = make(map[string]string)
+	sedAddr = make(map[string]string)
+	agentAddr = make(map[string]string)
+	var walk func(node TopologyNode)
+	walk = func(node TopologyNode) {
+		if node.Kind != "SeD" {
+			agentAddr[node.Name] = node.Addr
+		}
+		for _, c := range node.Children {
+			if c.Kind == "SeD" {
+				parentOf[c.Name] = node.Name
+				sedAddr[c.Name] = c.Addr
+			}
+			walk(c)
+		}
+	}
+	walk(n)
+	return parentOf, sedAddr, agentAddr
+}
+
 // Agent is a scheduling agent: it maintains the list of children (SeDs or
 // further agents), collects computation abilities through the hierarchy, and
 // — when it is the Master Agent — ranks them with the plug-in policy.
@@ -110,6 +153,16 @@ type Agent struct {
 	mu       sync.RWMutex
 	children map[string]ChildInfo
 	missed   map[string]int
+	// claims tracks, per SeD child, the foreign parent its last mismatched
+	// heartbeat probe reported (see SweepChildren): only a *stable* claim
+	// accumulates toward the child_moved drop, so stale probes racing a
+	// series of reparents cannot evict a child this agent rightfully holds.
+	claims map[string]string
+	// regSeq is bumped on every childRegister: a sweep observation is only
+	// applied if the child was not re-registered while the probe was in
+	// flight (the probe's answer would describe a state that no longer
+	// holds).
+	regSeq map[string]uint64
 
 	// registry is the cluster-keyed store of child SeD models, filled by
 	// gossip rounds and queried when a fresh SeD registers (warm start).
@@ -121,6 +174,8 @@ type Agent struct {
 	statMu   sync.Mutex
 	requests int
 	evicted  int
+	replans  int
+	migrated int
 }
 
 // NewAgent creates an agent; call Start to expose and attach it.
@@ -133,6 +188,9 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	if cfg.Kind == LocalAgent && cfg.Parent == "" {
 		return nil, fmt.Errorf("diet: local agent %s needs a parent", cfg.Name)
+	}
+	if cfg.ReplanInterval > 0 && (cfg.HeartbeatInterval <= 0 || cfg.Replanner == nil) {
+		return nil, fmt.Errorf("diet: agent %s: ReplanInterval rides the heartbeat sweeps — set HeartbeatInterval and a Replanner too", cfg.Name)
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = scheduler.NewRoundRobin()
@@ -148,6 +206,8 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		server:   rpc.NewServer(),
 		children: make(map[string]ChildInfo),
 		missed:   make(map[string]int),
+		claims:   make(map[string]string),
+		regSeq:   make(map[string]uint64),
 		registry: cori.NewRegistry(),
 		stop:     make(chan struct{}),
 	}, nil
@@ -212,6 +272,7 @@ func (a *Agent) Close() error {
 func (a *Agent) monitor() {
 	ticker := time.NewTicker(a.cfg.HeartbeatInterval)
 	defer ticker.Stop()
+	lastReplan := time.Now()
 	for {
 		select {
 		case <-a.stop:
@@ -221,23 +282,75 @@ func (a *Agent) monitor() {
 			// Gossip rides the heartbeat: the same traffic that proves a
 			// child alive also carries its models up the hierarchy.
 			a.GossipRound()
+			// Replanning rides the same sweep: once the replan interval has
+			// elapsed, re-derive the plan from the freshly gossiped registry
+			// and migrate children live.
+			if a.cfg.ReplanInterval > 0 && a.cfg.Replanner != nil &&
+				time.Since(lastReplan) >= a.cfg.ReplanInterval {
+				lastReplan = time.Now()
+				a.ReplanOnce()
+			}
 		}
 	}
 }
 
 // SweepChildren performs one heartbeat round: ping every child and evict
-// those that have missed MaxMissed consecutive beats. It is exported so
-// tests (and tools) can drive the monitor deterministically.
+// those that have missed MaxMissed consecutive beats. For SeD children the
+// probe is their Stats call, which also reports which parent the SeD answers
+// to — a child that migrated away while this agent missed the handoff (a
+// MigrateChild reply lost to a dropped connection) is dropped here instead
+// of being collected under two parents forever. A parent mismatch gets the
+// same MaxMissed grace as a missed beat, and only a *stable* claim counts:
+// the mismatch must name the same foreign parent on consecutive probes.
+// Both guards exist for probes racing live migration — a reparent in flight
+// may legitimately answer with the old parent once, and a series of moves
+// may alternate claims; neither may cost this agent a child it rightfully
+// holds. Exported so tests (and tools) can drive the monitor
+// deterministically.
 func (a *Agent) SweepChildren() {
-	for _, c := range a.Children() {
-		object := "sed:" + c.Name
-		if c.Kind != "SeD" {
-			object = "agent:" + c.Name
+	children := a.Children()
+	seqs := make(map[string]uint64, len(children))
+	a.mu.RLock()
+	for _, c := range children {
+		seqs[c.Name] = a.regSeq[c.Name]
+	}
+	a.mu.RUnlock()
+	for _, c := range children {
+		var err error
+		movedTo := ""
+		if c.Kind == "SeD" {
+			var st Stats
+			err = rpc.Call(c.Addr, "sed:"+c.Name, "Stats", struct{}{}, &st)
+			if err == nil && st.Parent != "" && st.Parent != a.cfg.Name {
+				movedTo = st.Parent
+			}
+		} else {
+			var pong string
+			err = rpc.Call(c.Addr, "agent:"+c.Name, "Ping", struct{}{}, &pong)
 		}
-		var pong string
-		err := rpc.Call(c.Addr, object, "Ping", struct{}{}, &pong)
 		a.mu.Lock()
-		if err != nil {
+		if _, held := a.children[c.Name]; !held || a.regSeq[c.Name] != seqs[c.Name] {
+			// The child left or re-registered while the probe was in flight:
+			// the answer describes a state that no longer holds.
+			a.mu.Unlock()
+			continue
+		}
+		switch {
+		case movedTo != "":
+			if a.claims[c.Name] != movedTo {
+				a.claims[c.Name] = movedTo // new claim: restart the grace count
+				a.missed[c.Name] = 1
+			} else {
+				a.missed[c.Name]++
+			}
+			if a.missed[c.Name] >= a.cfg.MaxMissed {
+				delete(a.children, c.Name)
+				delete(a.missed, c.Name)
+				delete(a.claims, c.Name)
+				publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "child_moved", c.Name+" -> "+movedTo)
+			}
+		case err != nil:
+			delete(a.claims, c.Name)
 			a.missed[c.Name]++
 			if a.missed[c.Name] >= a.cfg.MaxMissed {
 				delete(a.children, c.Name)
@@ -247,8 +360,9 @@ func (a *Agent) SweepChildren() {
 				a.statMu.Unlock()
 				publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "evict", c.Kind+":"+c.Name)
 			}
-		} else {
+		default:
 			a.missed[c.Name] = 0
+			delete(a.claims, c.Name)
 		}
 		a.mu.Unlock()
 	}
@@ -270,6 +384,8 @@ func (a *Agent) childRegister(c ChildInfo) error {
 	defer a.mu.Unlock()
 	a.children[c.Name] = c
 	a.missed[c.Name] = 0 // a re-registering child starts with a clean slate
+	delete(a.claims, c.Name)
+	a.regSeq[c.Name]++
 	publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "child_register", c.Kind+":"+c.Name)
 	return nil
 }
@@ -508,6 +624,17 @@ func (a *Agent) handler() rpc.Handler {
 				return nil, err
 			}
 			reply, err := a.Submit(req)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(reply)
+		},
+		"MigrateChild": func(body []byte) ([]byte, error) {
+			var req MigrateChildRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			reply, err := a.MigrateChild(req)
 			if err != nil {
 				return nil, err
 			}

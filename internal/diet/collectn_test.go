@@ -3,6 +3,7 @@ package diet
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/rpc"
 )
@@ -64,11 +65,14 @@ func TestCollectNPrefersIdleServers(t *testing.T) {
 	go d.SeDs[0].Solve(pBlock)
 	defer close(block)
 
-	// Wait until the SeD reports the running solve.
-	for i := 0; i < 100; i++ {
-		if d.SeDs[0].Estimate("double").Est.Running > 0 {
-			break
+	// Wait until the SeD reports the running solve (a spin without sleeping
+	// can win the race against the dispatcher goroutine under load).
+	deadline := time.Now().Add(5 * time.Second)
+	for d.SeDs[0].Estimate("double").Est.Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocking solve never started")
 		}
+		time.Sleep(time.Millisecond)
 	}
 	top := d.MA.CollectN("double", 1)
 	if len(top) != 1 || top[0].ServerID != "SeD-cn2-b" {

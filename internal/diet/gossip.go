@@ -44,6 +44,19 @@ func (a *Agent) Registry() *cori.Registry { return a.registry }
 // rides the existing keepalive traffic; tests and tools can drive it
 // directly. Children that fail are skipped, like a missed heartbeat.
 func (a *Agent) GossipRound() {
+	// Expire contributions whose confidence has fully decayed before
+	// spreading the registry any further: a long-lived agent must not gossip
+	// dead SeDs forever. Peers sweeping with the same rule converge to the
+	// evicted state even if a merge briefly resurrects a stale source.
+	if a.cfg.EvictConfidenceFloor > 0 {
+		hl := a.cfg.EvictHalfLife
+		if hl <= 0 {
+			hl = time.Hour
+		}
+		for _, src := range a.registry.EvictStale(time.Now(), hl, a.cfg.EvictConfidenceFloor) {
+			publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "registry_evict", src)
+		}
+	}
 	snap := a.registry.Snapshot()
 	for _, c := range a.Children() {
 		switch c.Kind {

@@ -109,6 +109,11 @@ type SeD struct {
 	slots    chan struct{}
 	stop     chan struct{}
 	stopOnce sync.Once
+	// drainMu arbitrates slot ownership between the dispatcher (reader) and
+	// a draining Reparent (writer): while a reparent drains, freed slots go
+	// to the drain exclusively instead of being raffled against new grants,
+	// so a busy SeD's drain completes in one solve duration, not unbounded.
+	drainMu sync.RWMutex
 
 	statMu     sync.Mutex
 	queued     int
@@ -117,6 +122,10 @@ type SeD struct {
 	lastSolveS float64
 	solved     int
 	busySecs   float64
+	// power and parent start from the config and are mutated by the live
+	// migration protocol (Reparent, SetPower).
+	power  float64
+	parent string
 }
 
 type sedJob struct {
@@ -147,6 +156,8 @@ func NewSeD(cfg SeDConfig) (*SeD, error) {
 		slots:     make(chan struct{}, cfg.Capacity),
 		stop:      make(chan struct{}),
 		pending:   make(map[string]int),
+		power:     cfg.PowerGFlops,
+		parent:    cfg.Parent,
 	}
 	for i := 0; i < cfg.Capacity; i++ {
 		s.slots <- struct{}{}
@@ -242,19 +253,24 @@ func (s *SeD) Close() error {
 }
 
 // dispatch grants queued jobs strictly in arrival order, one token per
-// concurrent slot — a true FIFO even under heavy concurrency.
+// concurrent slot — a true FIFO even under heavy concurrency. Slot
+// acquisition happens under drainMu's read side, so a draining Reparent
+// (write side) pauses new grants instead of racing them for freed slots.
 func (s *SeD) dispatch() {
 	for {
 		select {
 		case <-s.stop:
 			return
 		case j := <-s.jobs:
+			s.drainMu.RLock()
 			select {
 			case <-s.stop:
+				s.drainMu.RUnlock()
 				return
 			case <-s.slots:
 				close(j.grant)
 			}
+			s.drainMu.RUnlock()
 		}
 	}
 }
@@ -295,6 +311,7 @@ func (s *SeD) Estimate(service string) EstimateReply {
 	s.mu.Unlock()
 	s.statMu.Lock()
 	running, queued, lastSolve := s.running, s.queued, s.lastSolveS
+	power := s.power
 	pending := make(map[string]int, len(s.pending))
 	for svc, n := range s.pending {
 		pending[svc] = n
@@ -306,7 +323,7 @@ func (s *SeD) Estimate(service string) EstimateReply {
 		Capacity:         s.cfg.Capacity,
 		Running:          running,
 		QueueLen:         queued,
-		PowerGFlops:      s.cfg.PowerGFlops,
+		PowerGFlops:      power,
 		FreeMemMB:        s.cfg.MemMB,
 		LastSolveSeconds: lastSolve,
 	}
@@ -482,6 +499,8 @@ func (s *SeD) StoredData(id string) ([]byte, bool) {
 type Stats struct {
 	Name      string
 	Cluster   string
+	Parent    string  // current parent agent (changes under live migration)
+	Power     float64 // currently advertised power
 	Queued    int
 	Running   int
 	Solved    int
@@ -496,6 +515,8 @@ func (s *SeD) Stats() Stats {
 	return Stats{
 		Name:      s.cfg.Name,
 		Cluster:   s.cfg.Cluster,
+		Parent:    s.parent,
+		Power:     s.power,
 		Queued:    s.queued,
 		Running:   s.running,
 		Solved:    s.solved,
@@ -527,6 +548,24 @@ func (s *SeD) handler() rpc.Handler {
 		},
 		"Ping": func([]byte) ([]byte, error) {
 			return rpc.Encode("pong")
+		},
+		"Reparent": func(body []byte) ([]byte, error) {
+			var req ReparentRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			reply, err := s.Reparent(req)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(reply)
+		},
+		"SetPower": func(body []byte) ([]byte, error) {
+			var p float64
+			if err := rpc.Decode(body, &p); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(s.SetPower(p))
 		},
 		"Stats": func([]byte) ([]byte, error) {
 			return rpc.Encode(s.Stats())

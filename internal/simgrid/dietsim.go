@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/cori"
+	"repro/internal/deploy"
 	"repro/internal/platform"
 	"repro/internal/scheduler"
 )
@@ -98,6 +99,36 @@ type ExperimentConfig struct {
 	// see the planned powers while the platform keeps its true speeds.
 	// Missing names keep the deployment's advertised power.
 	PlannedPower map[string]float64
+
+	// ReplanIntervalS enables the live-replanning mirror (diet.Agent
+	// ReplanInterval + ApplyPlan in virtual time): every interval the
+	// campaign re-plans the deployment from the SeDs' current monitors
+	// (deploy.Replan over MonitorSource for ReplanService) and applies the
+	// result online. A SeD whose effective power moved re-advertises it; a
+	// SeD whose placement changed pays ReplanPauseS of drain before
+	// accepting new work and its monitor rides a Snapshot/Restore round-trip
+	// — the reparent protocol's "model travels with the move" guarantee,
+	// exercised rather than assumed. Requires Forecast. 0 disables.
+	ReplanIntervalS float64
+	// ReplanService is the service replanning plans by (default
+	// "ramsesZoom2", the service that dominates the campaign).
+	ReplanService string
+	// ReplanPauseS is the drain pause a migrated SeD pays before accepting
+	// new work (default 30s; the live protocol waits out in-flight solves).
+	ReplanPauseS float64
+	// LiveParent optionally scrambles the initial live placement (SeD name →
+	// agent name). Missing names start under their cluster's planned LA
+	// ("LA-<cluster>"); the replanning mirror migrates mismatches back to
+	// the planned placement.
+	LiveParent map[string]string
+
+	// DriftAtS and DriftPowerFactor model mid-campaign platform drift: at
+	// DriftAtS virtual seconds each named SeD's *true* speed is rescaled to
+	// factor × its deployment-advertised power (replacing any
+	// TruePowerFactor skew for that SeD). Advertised estimates are untouched
+	// — only measurement can see drift. Empty map = no drift.
+	DriftAtS         float64
+	DriftPowerFactor map[string]float64
 }
 
 // DefaultExperiment returns the configuration reproducing the paper run.
@@ -192,6 +223,18 @@ type BatchStats struct {
 // quantity forecast-sized reservations exist to shrink.
 func (b BatchStats) OverrunPadCostS() float64 { return b.WastedS + b.IdlePadS }
 
+// ReplanEvent records one live-replanning pass of a campaign.
+type ReplanEvent struct {
+	AtS          float64
+	PowerUpdates int      // SeDs whose advertised power the pass moved
+	Moved        []string // SeDs migrated to a new parent (paid the drain pause)
+	// MovedModelTrusted records, per migrated SeD, whether its duration
+	// model was trusted immediately *after* the snapshot round-trip — the
+	// "no cold restart" guarantee a reparent must uphold whenever the model
+	// was trusted before the move.
+	MovedModelTrusted map[string]bool
+}
+
 // ExperimentResult is the full campaign outcome.
 type ExperimentResult struct {
 	Policy        string
@@ -201,10 +244,28 @@ type ExperimentResult struct {
 	TotalS        float64         // makespan of the whole campaign
 	Phase1S       float64
 	MeanPhase2S   float64
-	SequentialS   float64    // sum of all compute durations: the no-grid baseline
-	OverheadMS    float64    // mean per-request middleware overhead (find + init)
-	TotalOverhead float64    // summed overhead, seconds (paper: ≈7 s)
-	Batch         BatchStats // reservation metrics; zero unless BatchMode
+	SequentialS   float64       // sum of all compute durations: the no-grid baseline
+	OverheadMS    float64       // mean per-request middleware overhead (find + init)
+	TotalOverhead float64       // summed overhead, seconds (paper: ≈7 s)
+	Batch         BatchStats    // reservation metrics; zero unless BatchMode
+	Replans       []ReplanEvent // live-replanning passes; empty unless enabled
+}
+
+// FirstRecordOn returns the first phase-2 request dispatched to a SeD at or
+// after a virtual time (by submission), or nil — how the replan ablation
+// checks a migrated SeD's first post-move forecast.
+func (r *ExperimentResult) FirstRecordOn(sed string, afterS float64) *RequestRecord {
+	var best *RequestRecord
+	for i := range r.Records {
+		rec := &r.Records[i]
+		if rec.SeD != sed || rec.SubmitS < afterS {
+			continue
+		}
+		if best == nil || rec.SubmitS < best.SubmitS {
+			best = rec
+		}
+	}
+	return best
 }
 
 // sedState is the simulator's view of one SeD.
@@ -212,6 +273,7 @@ type sedState struct {
 	place      platform.SeDPlacement
 	truePower  float64 // actual delivered GFlops (advertised × TruePowerFactor)
 	advertised float64 // power the estimate reports (PlannedPower override or the placement's)
+	parent     string  // current live parent agent (live-replanning mirror)
 	monitor    *cori.Monitor
 	pending    map[string]int // accepted-but-unfinished solves, by service
 	queue      int            // waiting requests
@@ -275,6 +337,9 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	if cfg.BatchForecast && !cfg.Forecast {
 		return nil, fmt.Errorf("simgrid: BatchForecast needs Forecast monitors attached")
 	}
+	if cfg.ReplanIntervalS > 0 && !cfg.Forecast {
+		return nil, fmt.Errorf("simgrid: ReplanIntervalS needs Forecast monitors attached")
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sim := NewSim()
 	batchExhausted := 0
@@ -290,7 +355,11 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		if v, ok := cfg.PlannedPower[p.Name]; ok && v > 0 {
 			advertised = v
 		}
-		seds[i] = &sedState{place: p, truePower: truePower, advertised: advertised, lastSolve: -1, pending: make(map[string]int)}
+		parent := "LA-" + p.Cluster // the planned placement (deploy.TopologyWith)
+		if lp, ok := cfg.LiveParent[p.Name]; ok && lp != "" {
+			parent = lp
+		}
+		seds[i] = &sedState{place: p, truePower: truePower, advertised: advertised, parent: parent, lastSolve: -1, pending: make(map[string]int)}
 		byName[p.Name] = seds[i]
 		if cfg.Forecast {
 			if m := cfg.Monitors[p.Name]; m != nil {
@@ -493,6 +562,103 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 				})
 			})
 		}
+	}
+
+	// Mid-campaign platform drift: the true speeds change under the running
+	// hierarchy, invisible to every advertised figure.
+	if cfg.DriftAtS > 0 && len(cfg.DriftPowerFactor) > 0 {
+		sim.At(cfg.DriftAtS, func() {
+			for name, f := range cfg.DriftPowerFactor {
+				if s, ok := byName[name]; ok && f > 0 {
+					s.truePower = s.place.PowerGFlops() * f
+				}
+			}
+		})
+	}
+
+	// Live replanning: the virtual-time mirror of a Master Agent running
+	// deploy.Replan on its heartbeat and applying the diff with the
+	// SeD-migration protocol (diet.Agent.ApplyPlan).
+	if cfg.ReplanIntervalS > 0 {
+		service := cfg.ReplanService
+		if service == "" {
+			service = "ramsesZoom2"
+		}
+		pause := cfg.ReplanPauseS
+		if pause <= 0 {
+			pause = 30
+		}
+		var tick func()
+		tick = func() {
+			if done >= cfg.NRequests {
+				// The campaign already finished before this tick's scheduled
+				// time; a pass now would record phantom events past the
+				// makespan.
+				return
+			}
+			mons := make(map[string]*cori.Monitor, len(seds))
+			for _, s := range seds {
+				if s.monitor != nil {
+					mons[s.place.Name] = s.monitor
+				}
+			}
+			plan, _, err := deploy.Replan(cfg.Deployment, deploy.Options{
+				Capabilities: deploy.MonitorSource(mons, service),
+			})
+			if err == nil {
+				ev := ReplanEvent{AtS: sim.Now()}
+				power, parent := plan.PowerByName(), plan.ParentByName()
+				for _, s := range seds {
+					if p, ok := power[s.place.Name]; ok && p > 0 &&
+						math.Abs(p-s.advertised) > 1e-9*math.Max(1, s.advertised) {
+						s.advertised = p
+						ev.PowerUpdates++
+					}
+					want, ok := parent[s.place.Name]
+					if !ok || s.parent == want {
+						continue
+					}
+					// The reparent: drain pause before new work starts, and
+					// the monitor rides the same Snapshot/Restore round-trip
+					// the live protocol's persistence layer guarantees — the
+					// model must come out as trusted as it went in.
+					s.parent = want
+					if s.freeAt < sim.Now() {
+						s.freeAt = sim.Now()
+					}
+					s.freeAt += pause
+					if s.monitor != nil {
+						mcfg := cfg.CoRI
+						mcfg.Now = virtualClock(sim)
+						fresh := cori.NewMonitor(mcfg)
+						if err := fresh.Restore(s.monitor.Snapshot()); err == nil {
+							s.monitor = fresh
+							if cfg.Monitors != nil {
+								cfg.Monitors[s.place.Name] = fresh
+							}
+						}
+					}
+					if ev.MovedModelTrusted == nil {
+						ev.MovedModelTrusted = make(map[string]bool)
+					}
+					trusted := false
+					if s.monitor != nil {
+						if m, ok := s.monitor.Model(service); ok &&
+							m.Confidence >= scheduler.DefaultMinConfidence && m.SolveSeconds(cfg.Phase2WorkGFlops) > 0 {
+							trusted = true
+						}
+					}
+					ev.MovedModelTrusted[s.place.Name] = trusted
+					ev.Moved = append(ev.Moved, s.place.Name)
+				}
+				sort.Strings(ev.Moved)
+				res.Replans = append(res.Replans, ev)
+			}
+			if done < cfg.NRequests {
+				sim.After(cfg.ReplanIntervalS, tick)
+			}
+		}
+		sim.After(cfg.ReplanIntervalS, tick)
 	}
 
 	sim.Run()
