@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/cori"
 	"repro/internal/diet"
 	"repro/internal/services"
@@ -39,6 +40,12 @@ func main() {
 		// Persistence: snapshot the monitor so restarts keep their training.
 		coriSnapshot = flag.String("cori-snapshot", "", "persist the CoRI monitor to this file: loaded at boot when present, saved on shutdown")
 		coriSnapInt  = flag.Duration("cori-snapshot-interval", 0, "additionally save the CoRI snapshot every interval (0 = only on shutdown)")
+		// Batch reservations: route every solve through an OAR-style queue
+		// with walltime enforcement, forecast-sized grants and backfill.
+		batchNodes    = flag.Int("batch-nodes", 0, "route solves through a batch queue managing this many nodes (0 = run solves inline)")
+		batchJobNodes = flag.Int("batch-job-nodes", 1, "nodes each solve's reservation requests")
+		batchBackfill = flag.Bool("batch-backfill", true, "conservative backfilling in the batch queue, preferring forecast-sized jobs")
+		batchWall     = flag.Duration("batch-wall", 2*time.Hour, "fixed fallback walltime granted while the CoRI model is cold")
 	)
 	flag.Parse()
 	if *namingAddr == "" {
@@ -53,10 +60,31 @@ func main() {
 		}
 	}
 
+	var executor diet.Executor
+	var batchExec *batch.ForecastExecutor
+	if *batchNodes > 0 {
+		if *batchJobNodes < 1 || *batchJobNodes > *batchNodes {
+			log.Fatalf("-batch-job-nodes %d must be between 1 and -batch-nodes %d", *batchJobNodes, *batchNodes)
+		}
+		sys, err := batch.New(batch.Config{
+			TotalNodes: *batchNodes, Backfill: *batchBackfill, EnforceWalltime: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The monitor is bound by NewSeD (MonitorBinder), so walltimes are
+		// sized from the same history the SeD's estimates report.
+		batchExec = &batch.ForecastExecutor{
+			System: sys, JobName: *name, Nodes: *batchJobNodes,
+			Policy: batch.WalltimePolicy{Fixed: *batchWall},
+		}
+		executor = batchExec
+	}
+
 	sed, err := diet.NewSeD(diet.SeDConfig{
 		Name: *name, Parent: *parent, Naming: *namingAddr,
 		Capacity: *capacity, PowerGFlops: *power, Cluster: *cluster,
-		WorkDir: dir, ListenAddr: *listen,
+		WorkDir: dir, ListenAddr: *listen, Executor: executor,
 		CoRI: cori.Config{Window: *coriWindow, HalfLife: *coriHalfLife},
 	})
 	if err != nil {
@@ -89,6 +117,9 @@ func main() {
 				for _, svc := range sed.Monitor().Services() {
 					log.Printf("CoRI %s: %v", svc, sed.Monitor().Metrics(svc))
 				}
+				if batchExec != nil {
+					log.Printf("batch: %+v exec: %+v", batchExec.System.Stats(), batchExec.Stats())
+				}
 			}
 		}()
 	}
@@ -106,6 +137,12 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down SeD %s", *name)
+	if batchExec != nil {
+		st := batchExec.System.Stats()
+		log.Printf("batch queue: %d started, mean wait %s, %d backfilled (%d forecast-sized), %d overrun kills",
+			st.Started, st.MeanQueueWait(), st.Backfilled, st.ForecastSizedBackfills, st.OverrunKills)
+		batchExec.System.Close()
+	}
 	if *coriSnapshot != "" {
 		if err := sed.Monitor().SaveFile(*coriSnapshot); err != nil {
 			log.Printf("saving CoRI snapshot: %v", err)

@@ -1,0 +1,218 @@
+// Command docscheck is the CI documentation gate. It fails when the docs
+// have drifted from the tree:
+//
+//   - a relative link in any *.md file points at a path that does not exist;
+//
+//   - a cmd/* binary has no section in docs/cli.md;
+//
+//   - a flag defined by a cmd/* binary is missing from its docs/cli.md
+//     section;
+//
+//   - a cmd/* section in docs/cli.md documents a flag the binary no longer
+//     defines (stale docs).
+//
+//     docscheck            # check the repository rooted at the working dir
+//     docscheck -root ../..
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+	problems, err := Check(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: docs are consistent with the tree")
+}
+
+// Check runs every documentation gate over the repository at root and
+// returns the problems found (empty = docs are consistent).
+func Check(root string) ([]string, error) {
+	var problems []string
+	links, err := CheckLinks(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, links...)
+	flags, err := CheckCLIDocs(root)
+	if err != nil {
+		return nil, err
+	}
+	return append(problems, flags...), nil
+}
+
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// CheckLinks verifies every relative link in every tracked *.md file points
+// at an existing file or directory. External schemes and pure-anchor links
+// are skipped; a trailing #fragment is ignored.
+func CheckLinks(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		if d.Name() == "SNIPPETS.md" {
+			// Quoted exemplar material from other repositories; its links
+			// point into trees we do not carry.
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken relative link %q", rel, m[1]))
+			}
+		}
+		return nil
+	})
+	return problems, err
+}
+
+var (
+	// Matches definitions on the global flag package and on named FlagSets
+	// (benchdiff builds one for testability).
+	flagDefRe = regexp.MustCompile(`\b\w+\.(?:Bool|Duration|Float64|Int|Int64|String|Uint|Uint64)\(\s*"([^"]+)"`)
+	flagDocRe = regexp.MustCompile("`-([a-zA-Z0-9][a-zA-Z0-9-]*)`")
+	sectionRe = regexp.MustCompile("(?m)^### `?cmd/([a-zA-Z0-9_-]+)`?")
+)
+
+// CheckCLIDocs verifies docs/cli.md covers every cmd/* binary: each binary
+// has a section, each defined flag appears in that section, and each flag
+// the section documents still exists in the binary.
+func CheckCLIDocs(root string) ([]string, error) {
+	cliPath := filepath.Join(root, "docs", "cli.md")
+	data, err := os.ReadFile(cliPath)
+	if err != nil {
+		return nil, fmt.Errorf("docscheck: %w", err)
+	}
+	sections := splitSections(string(data))
+
+	dirs, err := filepath.Glob(filepath.Join(root, "cmd", "*"))
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		name := filepath.Base(dir)
+		section, ok := sections[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("docs/cli.md: no section for cmd/%s", name))
+			continue
+		}
+		defined, err := definedFlags(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range sortedKeys(defined) {
+			if !strings.Contains(section, "`-"+f+"`") {
+				problems = append(problems, fmt.Sprintf("docs/cli.md: cmd/%s section is missing flag `-%s`", name, f))
+			}
+		}
+		for _, m := range flagDocRe.FindAllStringSubmatch(section, -1) {
+			if !defined[m[1]] {
+				problems = append(problems, fmt.Sprintf("docs/cli.md: cmd/%s section documents `-%s`, which the binary does not define", name, m[1]))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// splitSections maps each "### cmd/<name>" heading in cli.md to the text of
+// its section (up to the next ### or ## heading).
+func splitSections(doc string) map[string]string {
+	out := make(map[string]string)
+	idx := sectionRe.FindAllStringSubmatchIndex(doc, -1)
+	for i, m := range idx {
+		name := doc[m[2]:m[3]]
+		end := len(doc)
+		if i+1 < len(idx) {
+			end = idx[i+1][0]
+		}
+		body := doc[m[1]:end]
+		// A "## ..." heading also ends the section.
+		if j := strings.Index(body, "\n## "); j >= 0 {
+			body = body[:j]
+		}
+		out[name] = body
+	}
+	return out
+}
+
+// definedFlags collects the flag names a cmd/* package defines.
+func definedFlags(dir string) (map[string]bool, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range flagDefRe.FindAllStringSubmatch(string(data), -1) {
+			out[m[1]] = true
+		}
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

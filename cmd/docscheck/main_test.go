@@ -1,0 +1,153 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a minimal repository under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const goodCLI = "# CLI\n\n### `cmd/tool`\n\n| `-alpha` | first |\n| `-beta-gamma` | second |\n"
+
+const toolMain = `package main
+
+import "flag"
+
+func main() {
+	flag.String("alpha", "", "")
+	flag.Duration("beta-gamma", 0, "")
+	flag.Parse()
+}
+`
+
+func TestCheckCleanTreePasses(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md":        "see [the CLI](docs/cli.md) and [tool](cmd/tool/main.go)\n",
+		"docs/cli.md":      goodCLI,
+		"cmd/tool/main.go": toolMain,
+	})
+	problems, err := Check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean tree must pass, got %v", problems)
+	}
+}
+
+func TestCheckFlagsCatchesDrift(t *testing.T) {
+	// cli.md documents a flag the binary dropped and misses one it gained.
+	root := writeTree(t, map[string]string{
+		"docs/cli.md": "### `cmd/tool`\n\n| `-alpha` | kept |\n| `-gone` | removed |\n",
+		"cmd/tool/main.go": `package main
+
+import "flag"
+
+func main() {
+	flag.String("alpha", "", "")
+	flag.Bool("added", false, "")
+}
+`,
+	})
+	problems, err := CheckCLIDocs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"missing flag `-added`", "documents `-gone`"}
+	for _, w := range want {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("problems %v must include %q", problems, w)
+		}
+	}
+	if len(problems) != 2 {
+		t.Fatalf("exactly two problems expected, got %v", problems)
+	}
+}
+
+func TestCheckFlagsSeesFlagSets(t *testing.T) {
+	// Flags registered on a named FlagSet count too (cmd/benchdiff's style).
+	root := writeTree(t, map[string]string{
+		"docs/cli.md": "### `cmd/tool`\n",
+		"cmd/tool/main.go": `package main
+
+import "flag"
+
+func main() {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.Float64("threshold", 25, "")
+}
+`,
+	})
+	problems, err := CheckCLIDocs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing flag `-threshold`") {
+		t.Fatalf("FlagSet flag must be required in the docs, got %v", problems)
+	}
+}
+
+func TestCheckMissingSection(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"docs/cli.md":         "# CLI\n",
+		"cmd/newtool/main.go": "package main\n\nfunc main() {}\n",
+	})
+	problems, err := CheckCLIDocs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "no section for cmd/newtool") {
+		t.Fatalf("missing section must be reported, got %v", problems)
+	}
+}
+
+func TestCheckLinksCatchesBrokenRelative(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "[ok](docs/cli.md) [broken](docs/missing.md) " +
+			"[external](https://example.org/x.md) [anchor](#local) [frag](docs/cli.md#sec)\n",
+		"docs/cli.md": "# CLI\n",
+	})
+	problems, err := CheckLinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], `broken relative link "docs/missing.md"`) {
+		t.Fatalf("exactly the broken link must be reported, got %v", problems)
+	}
+}
+
+func TestCheckLinksSkipsSnippets(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"SNIPPETS.md": "[quoted](design/elsewhere.md)\n",
+		"docs/cli.md": "# CLI\n",
+	})
+	problems, err := CheckLinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("SNIPPETS.md quotes other repos and must be skipped, got %v", problems)
+	}
+}

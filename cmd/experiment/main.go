@@ -46,10 +46,12 @@ func main() {
 		joinSeD    = flag.String("join", "Nancy2", "SeD that joins in the warm-start ablation (needs a cluster sibling)")
 		rpAblation = flag.Bool("replan-ablation", false, "run the live-replanning ablation (A8): frozen plan vs live mid-campaign replanning+migration vs offline replan restart")
 		rpInterval = flag.Float64("replan-interval", 0, "live arm replanning cadence, seconds (0 = the A8 default, 6h)")
+		bfAblation = flag.Bool("backfill-ablation", false, "run the backfill ablation (A9): no backfill vs fixed-grant backfill vs forecast-sized backfill in the batch queue")
+		bfNodes    = flag.Int("backfill-nodes", 0, "virtual cluster size for the backfill ablation (0 = the A9 default, 8)")
 		rounds     = flag.Int("rounds", 2, "campaigns per trained arm in the ablations (rounds-1 train, the last measures)")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation && !*rpAblation {
+	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation && !*rpAblation && !*bfAblation {
 		*all = true
 	}
 
@@ -245,6 +247,32 @@ func main() {
 				fmt.Printf("    %s\n", ch)
 			}
 		}
+		return
+	}
+
+	if *bfAblation {
+		fmt.Println("Ablation A9 — queue-wait cost of walltime sizing under conservative backfilling:")
+		res, err := simgrid.RunBackfillAblation(func() simgrid.ExperimentConfig {
+			cfg := simgrid.DefaultExperiment(nil)
+			cfg.NRequests = *requests
+			cfg.Seed = *seed
+			cfg.ArrivalGapS = *arrivalGap
+			return cfg
+		}, simgrid.BackfillAblationConfig{Rounds: *rounds, Nodes: *bfNodes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" %d jobs from the measured CanonicalSkew campaign packed onto a %d-node cluster\n", res.Jobs, res.Nodes)
+		row := func(a simgrid.BackfillArm) {
+			fmt.Printf("  %-24s mean wait %s  max wait %s  makespan %s  sized walltimes %3d  backfilled %3d (%d of them sized)  kills %d\n",
+				a.Name, simgrid.Hours(a.MeanWaitS), simgrid.Hours(a.MaxWaitS), simgrid.Hours(a.MakespanS),
+				a.ForecastSized, a.Backfilled, a.SizedBackfills, a.OverrunKills)
+		}
+		row(res.NoBackfill)
+		row(res.FixedGrant)
+		row(res.Forecast)
+		fmt.Printf("  → forecast-sized walltimes cut mean queue wait %.1f%% vs fixed-grant backfill (%.1f%% vs no backfill) and makespan %.1f%%\n",
+			res.WaitGainPct(), res.BackfillValuePct(), res.MakespanGainPct())
 		return
 	}
 

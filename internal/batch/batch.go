@@ -13,6 +13,13 @@
 // forecast plus a confidence-scaled margin, falling back to a fixed grant
 // while the monitor is cold. ForecastExecutor wires that policy into
 // diet.SeD solves and tracks the overrun-kill and idle-pad metrics.
+//
+// Forecast sizing also feeds back into the queue: the backfill pass prefers
+// forecast-sized jobs when several candidates fit a shadow window
+// (OrderBackfill), because their tight walltimes waste the least of the
+// window, and per-job queue waits are tracked (SystemStats, Job.WaitTime)
+// so the ForecastExecutor can report each solve's real reservation wait to
+// the SeD's CoRI wait-on-depth regression.
 package batch
 
 import (
@@ -60,16 +67,23 @@ type Job struct {
 	Name     string
 	Nodes    int
 	Walltime time.Duration
-	Script   func() error
+	// ForecastSized marks a walltime derived from a trusted CoRI forecast
+	// rather than a fixed user grant. Sized walltimes are tight bounds, so
+	// the backfill pass prefers these jobs when several candidates fit the
+	// shadow window (see OrderBackfill).
+	ForecastSized bool
+	Script        func() error
 
-	mu       sync.Mutex
-	state    JobState
-	err      error
-	submit   time.Time
-	start    time.Time
-	end      time.Time
-	watchdog *time.Timer // walltime kill timer (EnforceWalltime); guarded by mu
-	finished chan struct{}
+	mu         sync.Mutex
+	state      JobState
+	err        error
+	submit     time.Time
+	start      time.Time
+	end        time.Time
+	backfilled bool        // started ahead of FIFO order by the backfill pass
+	headBound  time.Time   // tightest shadow bound recorded while this job was the protected head
+	watchdog   *time.Timer // walltime kill timer (EnforceWalltime); guarded by mu
+	finished   chan struct{}
 }
 
 // State returns the job's current state.
@@ -94,6 +108,14 @@ func (j *Job) WaitTime() time.Duration {
 		return 0
 	}
 	return j.start.Sub(j.submit)
+}
+
+// Backfilled reports whether the job was started ahead of FIFO order by the
+// backfill pass (valid once started).
+func (j *Job) Backfilled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.backfilled
 }
 
 // Config sizes the managed cluster.
@@ -123,12 +145,17 @@ type System struct {
 	closed  bool
 
 	// stats
-	submitted    int
-	completed    int
-	failed       int
-	overrunKills int
-	idlePad      time.Duration // walltime minus runtime, summed over completed jobs
-	reserved     time.Duration // walltime granted, summed over finished jobs
+	submitted      int
+	started        int
+	completed      int
+	failed         int
+	overrunKills   int
+	idlePad        time.Duration // walltime minus runtime, summed over completed jobs
+	reserved       time.Duration // walltime granted, summed over finished jobs
+	queueWait      time.Duration // submit→start, summed over started jobs
+	backfilled     int           // jobs started ahead of FIFO order
+	backfillWait   time.Duration // submit→start, summed over backfilled jobs
+	sizedBackfills int           // forecast-sized jobs among the backfilled
 }
 
 // New creates a batch system managing cfg.TotalNodes nodes.
@@ -139,17 +166,34 @@ func New(cfg Config) (*System, error) {
 	return &System{cfg: cfg, free: cfg.TotalNodes, running: make(map[int]*Job)}, nil
 }
 
+// Request describes one batch submission.
+type Request struct {
+	Name     string
+	Nodes    int
+	Walltime time.Duration
+	// ForecastSized tags the walltime as derived from a trusted CoRI
+	// forecast; the backfill pass prefers such jobs (see Job.ForecastSized).
+	ForecastSized bool
+	Script        func() error
+}
+
 // Submit enqueues a job; the script will run on a goroutine once the
 // scheduler grants the reservation. Like "oarsub" it returns immediately.
 func (s *System) Submit(name string, nodes int, walltime time.Duration, script func() error) (*Job, error) {
-	if nodes < 1 || nodes > s.cfg.TotalNodes {
-		return nil, fmt.Errorf("batch: job %q requests %d nodes, cluster has %d", name, nodes, s.cfg.TotalNodes)
+	return s.SubmitRequest(Request{Name: name, Nodes: nodes, Walltime: walltime, Script: script})
+}
+
+// SubmitRequest is Submit with the full request description, including the
+// walltime's sizing provenance.
+func (s *System) SubmitRequest(r Request) (*Job, error) {
+	if r.Nodes < 1 || r.Nodes > s.cfg.TotalNodes {
+		return nil, fmt.Errorf("batch: job %q requests %d nodes, cluster has %d", r.Name, r.Nodes, s.cfg.TotalNodes)
 	}
-	if walltime <= 0 {
-		return nil, fmt.Errorf("batch: job %q needs a positive walltime", name)
+	if r.Walltime <= 0 {
+		return nil, fmt.Errorf("batch: job %q needs a positive walltime", r.Name)
 	}
-	if script == nil {
-		return nil, fmt.Errorf("batch: job %q has no script", name)
+	if r.Script == nil {
+		return nil, fmt.Errorf("batch: job %q has no script", r.Name)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -158,8 +202,9 @@ func (s *System) Submit(name string, nodes int, walltime time.Duration, script f
 	}
 	s.nextID++
 	j := &Job{
-		ID: s.nextID, Name: name, Nodes: nodes, Walltime: walltime,
-		Script: script, state: Waiting, submit: time.Now(),
+		ID: s.nextID, Name: r.Name, Nodes: r.Nodes, Walltime: r.Walltime,
+		ForecastSized: r.ForecastSized,
+		Script:        r.Script, state: Waiting, submit: time.Now(),
 		finished: make(chan struct{}),
 	}
 	s.queue = append(s.queue, j)
@@ -172,33 +217,104 @@ func (s *System) Submit(name string, nodes int, walltime time.Duration, script f
 // FIFO order; with Backfill enabled, later jobs that fit in the free nodes
 // may start as long as the head job is not delayed (its start bound is the
 // earliest completion among running jobs that frees enough nodes, estimated
-// with walltimes — conservative backfilling).
+// with walltimes — conservative backfilling). When several candidates fit
+// the shadow window, forecast-sized jobs go first: their walltimes are
+// tight bounds, so promoting them packs more real work into the window than
+// the padded fixed grants (OrderBackfill is the shared policy).
 func (s *System) schedule() {
 	if len(s.queue) == 0 {
 		return
 	}
 	// Start from the head while it fits.
 	for len(s.queue) > 0 && s.queue[0].Nodes <= s.free {
-		s.startLocked(s.queue[0])
+		s.startLocked(s.queue[0], false)
 		s.queue = s.queue[1:]
 	}
-	if !s.cfg.Backfill || len(s.queue) == 0 {
+	if !s.cfg.Backfill || len(s.queue) < 2 || s.free == 0 {
 		return
 	}
 	head := s.queue[0]
 	shadow := s.headStartBound(head)
-	var rest []*Job
-	rest = append(rest, head)
-	for _, j := range s.queue[1:] {
-		// Backfill j if it fits now and is bounded to finish before the
-		// head's projected start (or doesn't touch nodes the head needs).
-		if j.Nodes <= s.free && time.Now().Add(j.Walltime).Before(shadow) {
-			s.startLocked(j)
-			continue
+	cands := make([]BackfillCandidate, 0, len(s.queue)-1)
+	for i, j := range s.queue[1:] {
+		cands = append(cands, BackfillCandidate{
+			Queue: i + 1, Nodes: j.Nodes, Walltime: j.Walltime, ForecastSized: j.ForecastSized,
+		})
+	}
+	picks := SelectBackfill(cands, s.free, shadow.Sub(time.Now()))
+	if len(picks) == 0 {
+		return
+	}
+	// Record the bound this pass promises the head; every later start must
+	// keep it (the shadow-time invariant the property tests assert).
+	head.mu.Lock()
+	if head.headBound.IsZero() || shadow.Before(head.headBound) {
+		head.headBound = shadow
+	}
+	head.mu.Unlock()
+	started := make(map[int]bool, len(picks))
+	for _, c := range picks {
+		started[c.Queue] = true
+		s.startLocked(s.queue[c.Queue], true)
+	}
+	rest := make([]*Job, 0, len(s.queue)-len(started))
+	for i, j := range s.queue {
+		if !started[i] {
+			rest = append(rest, j)
 		}
-		rest = append(rest, j)
 	}
 	s.queue = rest
+}
+
+// BackfillCandidate is the scheduler-independent view of one queued job a
+// backfill pass may promote. It exists so the live System and the
+// simulator's virtual-time batch mirror rank candidates through one policy.
+type BackfillCandidate struct {
+	Queue         int // position in the wait queue — the FIFO tiebreak
+	Nodes         int
+	Walltime      time.Duration
+	ForecastSized bool
+}
+
+// OrderBackfill sorts backfill candidates into the order the scheduler
+// tries them: forecast-sized jobs first (their walltimes are tight bounds,
+// so they waste the least of the shadow window and their projected ends are
+// trustworthy), then tighter walltimes, then submission order.
+func OrderBackfill(cands []BackfillCandidate) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].ForecastSized != cands[j].ForecastSized {
+			return cands[i].ForecastSized
+		}
+		if cands[i].Walltime != cands[j].Walltime {
+			return cands[i].Walltime < cands[j].Walltime
+		}
+		return cands[i].Queue < cands[j].Queue
+	})
+}
+
+// SelectBackfill is the complete conservative-backfill candidate policy:
+// from the queued jobs behind the head, keep those that fit the free nodes
+// now and whose walltime ends inside the head's shadow window, rank them
+// with OrderBackfill, and greedily admit while nodes remain. The picks are
+// returned in start order. Both System.schedule and the simulator's
+// virtual-time batch model (simgrid.SimulateBatchQueue) select through this
+// one function, so the two policies cannot drift.
+func SelectBackfill(cands []BackfillCandidate, free int, window time.Duration) []BackfillCandidate {
+	fit := make([]BackfillCandidate, 0, len(cands))
+	for _, c := range cands {
+		if c.Nodes <= free && c.Walltime < window {
+			fit = append(fit, c)
+		}
+	}
+	OrderBackfill(fit)
+	var picks []BackfillCandidate
+	for _, c := range fit {
+		if c.Nodes <= free {
+			free -= c.Nodes
+			picks = append(picks, c)
+		}
+	}
+	return picks
 }
 
 // headStartBound estimates when enough nodes free up for the head job,
@@ -229,13 +345,27 @@ func (s *System) headStartBound(head *Job) time.Time {
 // startLocked transitions a job to Running and launches its script. The job
 // settles exactly once: on script completion, or — with EnforceWalltime —
 // at walltime expiry if the script is still running, whichever comes first.
-func (s *System) startLocked(j *Job) {
+// Queue wait (submit→start) is accounted here, split out for backfilled
+// jobs: those waits are what the backfill policy exists to shrink, and what
+// feeds the CoRI wait-on-depth regression through the ForecastExecutor.
+func (s *System) startLocked(j *Job, backfilled bool) {
 	s.free -= j.Nodes
 	s.running[j.ID] = j
 	j.mu.Lock()
 	j.state = Running
 	j.start = time.Now()
+	j.backfilled = backfilled
+	wait := j.start.Sub(j.submit)
 	j.mu.Unlock()
+	s.started++
+	s.queueWait += wait
+	if backfilled {
+		s.backfilled++
+		s.backfillWait += wait
+		if j.ForecastSized {
+			s.sizedBackfills++
+		}
+	}
 
 	settle := func(err error) {
 		j.mu.Lock()
@@ -335,6 +465,27 @@ type SystemStats struct {
 	// Reserved is the total walltime granted to finished jobs, the
 	// denominator that turns IdlePad into a utilisation figure.
 	Reserved time.Duration
+	// Started counts jobs that have left the queue (includes running ones).
+	Started int
+	// QueueWait is submit→start time summed over started jobs; divide by
+	// Started for the mean wait the batch queue imposed.
+	QueueWait time.Duration
+	// Backfilled counts jobs started ahead of FIFO order, and
+	// BackfillQueueWait their summed waits — the queue time the backfill
+	// pass recovered from shadow windows.
+	Backfilled        int
+	BackfillQueueWait time.Duration
+	// ForecastSizedBackfills counts backfilled jobs whose walltime came from
+	// a trusted CoRI forecast — the candidates OrderBackfill prefers.
+	ForecastSizedBackfills int
+}
+
+// MeanQueueWait is the average submit→start wait over started jobs.
+func (st SystemStats) MeanQueueWait() time.Duration {
+	if st.Started == 0 {
+		return 0
+	}
+	return st.QueueWait / time.Duration(st.Started)
 }
 
 // Stats returns a snapshot of queue and node occupancy.
@@ -342,16 +493,21 @@ func (s *System) Stats() SystemStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SystemStats{
-		TotalNodes:   s.cfg.TotalNodes,
-		FreeNodes:    s.free,
-		Waiting:      len(s.queue),
-		Running:      len(s.running),
-		Submitted:    s.submitted,
-		Completed:    s.completed,
-		Failed:       s.failed,
-		OverrunKills: s.overrunKills,
-		IdlePad:      s.idlePad,
-		Reserved:     s.reserved,
+		TotalNodes:             s.cfg.TotalNodes,
+		FreeNodes:              s.free,
+		Waiting:                len(s.queue),
+		Running:                len(s.running),
+		Submitted:              s.submitted,
+		Completed:              s.completed,
+		Failed:                 s.failed,
+		OverrunKills:           s.overrunKills,
+		IdlePad:                s.idlePad,
+		Reserved:               s.reserved,
+		Started:                s.started,
+		QueueWait:              s.queueWait,
+		Backfilled:             s.backfilled,
+		BackfillQueueWait:      s.backfillWait,
+		ForecastSizedBackfills: s.sizedBackfills,
 	}
 }
 

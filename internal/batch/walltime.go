@@ -95,6 +95,11 @@ type ExecStats struct {
 	FixedFallback int // cold or stale monitor → fixed grant
 	OverrunKills  int // attempts killed at their walltime
 	Requeues      int // resubmissions after a kill
+	Backfilled    int // attempts the batch scheduler started ahead of FIFO order
+	// QueueWait is the batch-queue wait (submit→start) summed over every
+	// attempt this executor ran — the reservation wait component of each
+	// solve's observed wait, which the SeD feeds to cori.Sample.Wait.
+	QueueWait time.Duration
 }
 
 // ForecastExecutor routes each solve through a reservation whose walltime is
@@ -147,11 +152,23 @@ func (e *ForecastExecutor) Execute(run func() error) error {
 
 // ExecuteSized implements the diet sized-executor contract: size the
 // walltime from the monitor's forecast for this service and work, submit,
-// and on an overrun kill requeue with a widened grant. Attempt bodies are
-// serialised and abandoned attempts (killed while a previous invocation was
-// still draining) skip the body entirely, so `run` never executes twice
-// concurrently.
+// and on an overrun kill requeue with a widened grant.
 func (e *ForecastExecutor) ExecuteSized(service string, workGFlops float64, run func() error) error {
+	_, err := e.ExecuteSizedWait(service, workGFlops, run)
+	return err
+}
+
+// ExecuteSizedWait is ExecuteSized returning the measured batch-queue wait:
+// submit→start, summed over every reservation attempt the solve took. This
+// is the wait the queue actually imposed — a backfilled reservation reports
+// the shortened wait it won, and a killed attempt's thrown-away compute is
+// not counted as waiting — which diet.SeD folds into cori.Sample.Wait so
+// the wait-on-depth regression trains on real backfill behaviour instead of
+// the FIFO drain it would otherwise assume. Attempt bodies are serialised
+// and abandoned attempts (killed while a previous invocation was still
+// draining) skip the body entirely, so `run` never executes twice
+// concurrently.
+func (e *ForecastExecutor) ExecuteSizedWait(service string, workGFlops float64, run func() error) (time.Duration, error) {
 	pol := e.Policy.WithDefaults()
 	nodes := e.Nodes
 	if nodes < 1 {
@@ -185,6 +202,7 @@ func (e *ForecastExecutor) ExecuteSized(service string, workGFlops float64, run 
 	// goroutine skip the body once it finally acquires the lock, so `run`
 	// never executes concurrently with itself.
 	var runMu sync.Mutex
+	var queueWait time.Duration
 	for attempt := 1; ; attempt++ {
 		abandoned := &atomic.Bool{}
 		script := func() error {
@@ -195,20 +213,30 @@ func (e *ForecastExecutor) ExecuteSized(service string, workGFlops float64, run 
 			}
 			return run()
 		}
-		j, err := e.System.Submit(e.JobName, nodes, wall, script)
+		j, err := e.System.SubmitRequest(Request{
+			Name: e.JobName, Nodes: nodes, Walltime: wall,
+			ForecastSized: sized, Script: script,
+		})
 		if err != nil {
-			return err
+			return queueWait, err
 		}
 		err = e.System.Wait(j)
+		queueWait += j.WaitTime()
+		e.mu.Lock()
+		e.stats.QueueWait += j.WaitTime()
+		if j.Backfilled() {
+			e.stats.Backfilled++
+		}
+		e.mu.Unlock()
 		if !errors.Is(err, ErrWalltime) {
-			return err
+			return queueWait, err
 		}
 		abandoned.Store(true)
 		e.mu.Lock()
 		e.stats.OverrunKills++
 		if attempt >= maxAttempts {
 			e.mu.Unlock()
-			return err
+			return queueWait, err
 		}
 		e.stats.Requeues++
 		e.mu.Unlock()

@@ -2,6 +2,7 @@ package diet
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/cori"
 	"repro/internal/rpc"
@@ -80,4 +81,75 @@ func TestSeDRoutesSolvesThroughSizedExecutor(t *testing.T) {
 	if len(rec.works) != 1 || rec.works[0] != 1234 {
 		t.Fatalf("executor saw work %v, want the client's 1234 GFlop estimate", rec.works)
 	}
+}
+
+// waitReporter is a WaitReportingExecutor that claims every reservation
+// waited a fixed, large time in the batch queue.
+type waitReporter struct {
+	sizedRecorder
+	reportWait time.Duration
+}
+
+func (r *waitReporter) ExecuteSizedWait(service string, workGFlops float64, run func() error) (time.Duration, error) {
+	return r.reportWait, r.ExecuteSized(service, workGFlops, run)
+}
+
+// TestSeDFeedsReportedBatchWaitToMonitor checks the queue-wait plumbing
+// behind the wait-on-depth regression: when the executor measures its batch
+// queue wait, the CoRI sample's Wait carries that measurement — backfilled
+// reservations train the regression with the waits they actually saw — not
+// just the wall-clock gap inside the SeD.
+func TestSeDFeedsReportedBatchWaitToMonitor(t *testing.T) {
+	rpc.ResetLocal()
+	defer rpc.ResetLocal()
+
+	rec := &waitReporter{reportWait: 5 * time.Second}
+	spec := DeploymentSpec{
+		MAName: "MA1",
+		Policy: scheduler.NewRoundRobin(),
+		LAs:    []string{"LA1"},
+		Local:  true,
+	}
+	desc, _ := NewProfileDesc("echo", 0, 0, 1)
+	desc.Set(0, Scalar, Int)
+	desc.Set(1, Scalar, Int)
+	svc := ServiceSpec{Desc: desc, Solve: func(p *Profile) error {
+		return p.SetScalarInt(1, 1, Volatile)
+	}}
+	spec.SeDs = []SeDSpec{{
+		Name: "SeD1", Parent: "LA1", Capacity: 1, PowerGFlops: 50,
+		Services: []ServiceSpec{svc}, Executor: rec,
+	}}
+	d, err := Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	client, err := d.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewProfile("echo", 0, 0, 1)
+	p.SetScalarInt(0, 1, Volatile)
+	if _, err := client.Call(p); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := d.SeDs[0].Monitor().Snapshot()
+	for _, svc := range snap.Services {
+		if svc.Service != "echo" {
+			continue
+		}
+		if len(svc.Samples) != 1 {
+			t.Fatalf("one observed sample expected, got %d", len(svc.Samples))
+		}
+		// The solve itself is instantaneous; the sample's wait must be
+		// dominated by the executor's reported 5 s reservation wait.
+		if w := svc.Samples[0].Wait; w < rec.reportWait || w > rec.reportWait+time.Second {
+			t.Fatalf("sample wait %v, want ≈ the reported %v batch wait", w, rec.reportWait)
+		}
+		return
+	}
+	t.Fatal("no echo history observed")
 }

@@ -32,6 +32,18 @@ type SizedExecutor interface {
 	ExecuteSized(service string, workGFlops float64, run func() error) error
 }
 
+// WaitReportingExecutor is a SizedExecutor that also measures how long the
+// solve's reservation waited in the batch queue (submit→start, summed over
+// attempts). SeDs probe for it so the wait they feed the CoRI wait-on-depth
+// regression is the queue wait the batch scheduler actually imposed —
+// shortened when the reservation was backfilled, and excluding the compute
+// a killed attempt threw away — rather than the raw wall-clock gap between
+// admission and compute start. batch.ForecastExecutor implements it.
+type WaitReportingExecutor interface {
+	SizedExecutor
+	ExecuteSizedWait(service string, workGFlops float64, run func() error) (time.Duration, error)
+}
+
 // MonitorBinder is an Executor that wants the SeD's CoRI monitor — NewSeD
 // probes for it and hands its monitor over, so walltime sizing reads the
 // same solve history the SeD's estimates are built from.
@@ -368,6 +380,7 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 		return nil, fmt.Errorf("diet: SeD %s queue full", s.cfg.Name)
 	}
 	<-job.grant
+	granted := time.Now()
 
 	s.statMu.Lock()
 	s.queued--
@@ -388,11 +401,21 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 		return err
 	}
 	var err error
-	if sized, ok := s.cfg.Executor.(SizedExecutor); ok {
+	var batchWait time.Duration
+	var batchWaitMeasured bool
+	switch ex := s.cfg.Executor.(type) {
+	case WaitReportingExecutor:
+		// Forecast-sized reservations with measured queue wait: the batch
+		// scheduler reports how long the reservation really waited (a
+		// backfilled job reports its shortened wait), so the wait sample
+		// below reflects backfill behaviour instead of wall-clock gaps.
+		batchWait, err = ex.ExecuteSizedWait(p.Service, p.WorkGFlops, body)
+		batchWaitMeasured = true
+	case SizedExecutor:
 		// Forecast-sized reservations: the executor sees which service and
 		// how much work, so it can derive the walltime from the CoRI model.
-		err = sized.ExecuteSized(p.Service, p.WorkGFlops, body)
-	} else {
+		err = ex.ExecuteSized(p.Service, p.WorkGFlops, body)
+	default:
 		err = s.cfg.Executor.Execute(body)
 	}
 
@@ -423,8 +446,15 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	// Failed solves are excluded: their durations do not predict service time.
 	// The observed wait (everything between admission and compute start,
 	// clamped positive so it reads as known) trains the wait-on-depth
-	// regression behind Model.WaitAtDepth.
+	// regression behind Model.WaitAtDepth. When the executor measures its
+	// reservation wait, the batch component is that measurement — the SeD
+	// FIFO wait plus the queue wait the batch scheduler actually imposed,
+	// which credits backfill and excludes killed attempts' wasted compute —
+	// so Estimate's drain forecast learns real backfill behaviour.
 	wait := solveStart.Sub(enq)
+	if batchWaitMeasured {
+		wait = granted.Sub(enq) + batchWait
+	}
 	if wait <= 0 {
 		wait = time.Microsecond
 	}

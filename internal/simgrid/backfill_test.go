@@ -1,0 +1,179 @@
+package simgrid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchQueueBackfillsIntoShadowWindow checks the basic mechanics: a
+// narrow short job jumps ahead of a blocked wide head without delaying it.
+func TestBatchQueueBackfillsIntoShadowWindow(t *testing.T) {
+	mk := func() []*BatchQueueJob {
+		return []*BatchQueueJob{
+			{ID: 1, ArriveS: 0, Nodes: 1, WallS: 10, RunS: 10},
+			{ID: 2, ArriveS: 1, Nodes: 2, WallS: 10, RunS: 5}, // blocked head: needs both nodes
+			{ID: 3, ArriveS: 2, Nodes: 1, WallS: 3, RunS: 2},  // fits the shadow window
+		}
+	}
+
+	withBF := mk()
+	if err := SimulateBatchQueue(BatchQueueConfig{Nodes: 2, Backfill: true}, withBF); err != nil {
+		t.Fatal(err)
+	}
+	if !withBF[2].Backfilled {
+		t.Fatalf("job 3 must backfill: %+v", withBF[2])
+	}
+	if withBF[2].StartS != 2 {
+		t.Fatalf("job 3 must start immediately at its arrival, got %g", withBF[2].StartS)
+	}
+	// The head was promised a bound and must keep it.
+	if withBF[1].HeadBoundS < 0 {
+		t.Fatal("head job should have a recorded shadow bound")
+	}
+	if withBF[1].StartS > withBF[1].HeadBoundS {
+		t.Fatalf("head delayed past its bound: start %g > bound %g", withBF[1].StartS, withBF[1].HeadBoundS)
+	}
+
+	noBF := mk()
+	if err := SimulateBatchQueue(BatchQueueConfig{Nodes: 2, Backfill: false}, noBF); err != nil {
+		t.Fatal(err)
+	}
+	if noBF[2].Backfilled {
+		t.Fatal("nothing may backfill with backfill disabled")
+	}
+	if withBF[1].StartS != noBF[1].StartS {
+		t.Fatalf("backfill must not move the head's start: %g vs %g (FIFO)", withBF[1].StartS, noBF[1].StartS)
+	}
+	if withBF[2].WaitS >= noBF[2].WaitS {
+		t.Fatalf("backfill must shorten job 3's wait: %g vs %g (FIFO)", withBF[2].WaitS, noBF[2].WaitS)
+	}
+}
+
+// TestBatchQueuePrefersForecastSized checks the candidate-selection policy
+// mirrors batch.OrderBackfill: when two candidates fit one free node, the
+// forecast-sized one goes first even though it was submitted later.
+func TestBatchQueuePrefersForecastSized(t *testing.T) {
+	jobs := []*BatchQueueJob{
+		{ID: 1, ArriveS: 0, Nodes: 1, WallS: 20, RunS: 20},
+		{ID: 2, ArriveS: 1, Nodes: 2, WallS: 10, RunS: 5},             // blocked head
+		{ID: 3, ArriveS: 2, Nodes: 1, WallS: 5, RunS: 5},              // fixed grant, submitted first
+		{ID: 4, ArriveS: 2, Nodes: 1, WallS: 5, RunS: 5, Sized: true}, // forecast-sized, same instant
+	}
+	if err := SimulateBatchQueue(BatchQueueConfig{Nodes: 2, Backfill: true}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !jobs[3].Backfilled || jobs[3].StartS != 2 {
+		t.Fatalf("the forecast-sized candidate must win the free node: %+v", jobs[3])
+	}
+	if jobs[2].StartS <= jobs[3].StartS {
+		t.Fatalf("the fixed-grant candidate must start after the sized one: %g vs %g", jobs[2].StartS, jobs[3].StartS)
+	}
+}
+
+// TestBatchQueueKillAndRequeue checks the walltime-enforcement mirror: an
+// undersized grant is killed at expiry and the requeued attempt completes
+// with a widened grant, like batch.ForecastExecutor.
+func TestBatchQueueKillAndRequeue(t *testing.T) {
+	jobs := []*BatchQueueJob{
+		{ID: 1, ArriveS: 0, Nodes: 1, WallS: 4, RunS: 6},
+	}
+	if err := SimulateBatchQueue(BatchQueueConfig{Nodes: 1, Backfill: true}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	j := jobs[0]
+	if j.Kills != 1 || j.Failed {
+		t.Fatalf("one kill then success expected: %+v", j)
+	}
+	// Attempt 1 wastes its 4 s grant, attempt 2 (8 s grant) runs the 6 s
+	// script to completion.
+	if j.EndS != 10 {
+		t.Fatalf("end = kill(4) + rerun(6) = 10, got %g", j.EndS)
+	}
+}
+
+// TestBackfillShadowInvariantProperty drives the virtual queue with random
+// arrival/walltime mixes — with and without forecast sizing, including
+// undersized grants that kill and requeue — and asserts the conservative
+// guarantee: no attempt ever starts later than a shadow bound promised to
+// it while it was head of the queue, and every job completes.
+func TestBackfillShadowInvariantProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		for _, sizing := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(seed))
+			nodes := 3 + rng.Intn(6)
+			njobs := 30 + rng.Intn(31)
+			jobs := make([]*BatchQueueJob, njobs)
+			for i := range jobs {
+				width := 1
+				switch rng.Intn(5) {
+				case 3:
+					width = 1 + rng.Intn(nodes)
+				case 4:
+					width = nodes
+				}
+				wall := 10 + 90*rng.Float64()
+				run := wall * (0.3 + 0.7*rng.Float64())
+				if rng.Intn(10) == 0 {
+					run = wall * 1.5 // undersized: exercises kill-and-requeue
+				}
+				jobs[i] = &BatchQueueJob{
+					ID: i + 1, ArriveS: 200 * rng.Float64(), Nodes: width,
+					WallS: wall, RunS: run,
+					Sized: sizing && rng.Intn(2) == 0,
+				}
+			}
+			if err := SimulateBatchQueue(BatchQueueConfig{Nodes: nodes, Backfill: true}, jobs); err != nil {
+				t.Fatalf("seed %d sizing %v: %v", seed, sizing, err)
+			}
+			for _, j := range jobs {
+				if j.Failed {
+					t.Fatalf("seed %d sizing %v: job %d failed (run 1.5x wall must survive one 2x requeue): %+v", seed, sizing, j.ID, j)
+				}
+				if j.ShadowViolations != 0 {
+					t.Fatalf("seed %d sizing %v: job %d started past its promised shadow bound: %+v", seed, sizing, j.ID, j)
+				}
+				if j.EndS < j.StartS || j.StartS < j.ArriveS || j.WaitS < 0 {
+					t.Fatalf("seed %d sizing %v: job %d has inconsistent times: %+v", seed, sizing, j.ID, j)
+				}
+			}
+		}
+	}
+}
+
+// TestRunBackfillAblation is the A9 acceptance check: on the CanonicalSkew
+// platform, forecast-sized backfill strictly reduces mean queue wait vs
+// fixed-grant backfill, and backfill itself beats pure FIFO.
+func TestRunBackfillAblation(t *testing.T) {
+	res, err := RunBackfillAblation(func() ExperimentConfig {
+		return DefaultExperiment(nil)
+	}, BackfillAblationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("no backfill:   wait %.0fs  makespan %.0fs", res.NoBackfill.MeanWaitS, res.NoBackfill.MakespanS)
+	t.Logf("fixed grants:  wait %.0fs  makespan %.0fs  backfilled %d", res.FixedGrant.MeanWaitS, res.FixedGrant.MakespanS, res.FixedGrant.Backfilled)
+	t.Logf("forecast:      wait %.0fs  makespan %.0fs  backfilled %d (%d sized)", res.Forecast.MeanWaitS, res.Forecast.MakespanS, res.Forecast.Backfilled, res.Forecast.ForecastSized)
+
+	if res.Forecast.ForecastSized == 0 {
+		t.Fatal("trained monitors must size some walltimes from forecasts")
+	}
+	if res.Forecast.Backfilled == 0 {
+		t.Fatal("forecast-sized walltimes must enable backfilling")
+	}
+	if res.Forecast.MeanWaitS >= res.FixedGrant.MeanWaitS {
+		t.Fatalf("forecast-sized backfill must strictly reduce mean queue wait: %.1fs vs %.1fs fixed",
+			res.Forecast.MeanWaitS, res.FixedGrant.MeanWaitS)
+	}
+	if res.Forecast.MeanWaitS >= res.NoBackfill.MeanWaitS {
+		t.Fatalf("forecast-sized backfill must strictly beat pure FIFO on mean queue wait: %.1fs vs %.1fs",
+			res.Forecast.MeanWaitS, res.NoBackfill.MeanWaitS)
+	}
+	if res.FixedGrant.MeanWaitS > res.NoBackfill.MeanWaitS {
+		t.Fatalf("fixed-grant backfill must not be worse than FIFO: %.1fs vs %.1fs",
+			res.FixedGrant.MeanWaitS, res.NoBackfill.MeanWaitS)
+	}
+	if res.Forecast.MakespanS > res.FixedGrant.MakespanS {
+		t.Fatalf("forecast-sized backfill must not stretch the makespan: %.1fs vs %.1fs",
+			res.Forecast.MakespanS, res.FixedGrant.MakespanS)
+	}
+}
