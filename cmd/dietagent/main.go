@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,19 +21,13 @@ import (
 
 	"repro/internal/deploy"
 	"repro/internal/diet"
+	"repro/internal/logsvc"
+	"repro/internal/metrics"
 	"repro/internal/naming"
 	"repro/internal/platform"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
 )
-
-// logSink writes middleware trace events to the process log — the minimal
-// LogService stand-in, so a self-replanning MA's migrations are observable.
-type logSink struct{}
-
-func (logSink) Publish(component, kind, detail string) {
-	log.Printf("event %-14s %-16s %s", kind, component, detail)
-}
 
 func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -53,6 +48,14 @@ func main() {
 		evictConf  = flag.Float64("evict-confidence", 0, "expire gossip-registry contributions whose decayed confidence falls below this floor (0 = keep forever)")
 		evictHL    = flag.Duration("evict-halflife", time.Hour, "confidence decay half-life registry eviction uses")
 		logEvents  = flag.Bool("log-events", false, "log middleware trace events (registrations, evictions, replans, migrations)")
+		// Observability: host the LogService bus (typically beside the MA,
+		// like the paper's monitoring node), publish to a remote one, and/or
+		// expose Prometheus metrics over HTTP.
+		withLogsvc = flag.Bool("with-logservice", false, "host the LogService bus in this process (the monitoring node beside the MA)")
+		logsvcPort = flag.String("logservice-listen", ":9002", "LogService listen address (with -with-logservice)")
+		logsvcHist = flag.Int("logservice-history", 4096, "events the hosted LogService bus retains")
+		logsvcAddr = flag.String("logservice", "", "publish trace events and request spans to the LogService bus at this address")
+		httpAddr   = flag.String("http", "", "serve /metrics, /statusz and /debug/pprof/ on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -93,8 +96,45 @@ func main() {
 		HeartbeatInterval: *heartbeat, MaxMissed: *maxMissed,
 		EvictConfidenceFloor: *evictConf, EvictHalfLife: *evictHL,
 	}
+
+	var sinks logsvc.Tee
+	if *withLogsvc {
+		bus := logsvc.New(*logsvcHist)
+		ls := rpc.NewServer()
+		ls.Register(logsvc.ObjectName, bus.Handler())
+		addr, err := ls.Start(*logsvcPort)
+		if err != nil {
+			log.Fatalf("starting LogService bus: %v", err)
+		}
+		defer ls.Close()
+		log.Printf("LogService bus on %s (history %d); attach with dietmon -logservice %s", addr, *logsvcHist, addr)
+		sinks = append(sinks, bus)
+	}
+	if *logsvcAddr != "" {
+		sinks = append(sinks, &logsvc.Remote{Addr: *logsvcAddr})
+	}
 	if *logEvents {
-		cfg.Events = logSink{}
+		sinks = append(sinks, logsvc.Printer{Logf: log.Printf})
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		cfg.Events = sinks[0]
+	default:
+		cfg.Events = sinks
+	}
+
+	if *httpAddr != "" {
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		addr, shutdown, err := metrics.Serve(*httpAddr, reg, func(w http.ResponseWriter) {
+			fmt.Fprintf(w, "agent %s kind %s policy %s naming %s\n", *name, *kind, *policy, *namingAddr)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		log.Printf("observability HTTP on %s (/metrics /statusz /debug/pprof/)", addr)
 	}
 	if *replanInt > 0 {
 		if *heartbeat <= 0 {

@@ -8,17 +8,54 @@ package main
 import (
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/cori"
 	"repro/internal/diet"
+	"repro/internal/logsvc"
+	"repro/internal/metrics"
 	"repro/internal/services"
 )
+
+// logForecastAccuracy prints live forecast quality per service: the mean
+// |predicted − measured| relative error over the SeD's recent solves, and how
+// many predictions came from a trusted CoRI model vs the power fallback.
+func logForecastAccuracy(sed *diet.SeD) {
+	acc := sed.ForecastAccuracy()
+	svcs := make([]string, 0, len(acc))
+	for svc := range acc {
+		svcs = append(svcs, svc)
+	}
+	sort.Strings(svcs)
+	for _, svc := range svcs {
+		a := acc[svc]
+		log.Printf("forecast %s: %d solves, mean |pred-meas| %.1f%%, %.0f%% model-predicted",
+			svc, a.Solves, a.MeanAbsPct, 100*a.ModelShare)
+	}
+}
+
+// writeForecastAccuracy renders the same summary into the /statusz page.
+func writeForecastAccuracy(w http.ResponseWriter, sed *diet.SeD) {
+	acc := sed.ForecastAccuracy()
+	svcs := make([]string, 0, len(acc))
+	for svc := range acc {
+		svcs = append(svcs, svc)
+	}
+	sort.Strings(svcs)
+	for _, svc := range svcs {
+		a := acc[svc]
+		fmt.Fprintf(w, "forecast %s: %d solves, mean |pred-meas| %.1f%%, %.0f%% model-predicted\n",
+			svc, a.Solves, a.MeanAbsPct, 100*a.ModelShare)
+	}
+}
 
 func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -46,6 +83,11 @@ func main() {
 		batchJobNodes = flag.Int("batch-job-nodes", 1, "nodes each solve's reservation requests")
 		batchBackfill = flag.Bool("batch-backfill", true, "conservative backfilling in the batch queue, preferring forecast-sized jobs")
 		batchWall     = flag.Duration("batch-wall", 2*time.Hour, "fixed fallback walltime granted while the CoRI model is cold")
+		// Observability: route events + request spans to the process log or a
+		// remote LogService bus, and expose Prometheus metrics over HTTP.
+		logEvents  = flag.Bool("log-events", false, "log middleware trace events and request spans")
+		logsvcAddr = flag.String("logservice", "", "publish trace events and request spans to the LogService bus at this address")
+		httpAddr   = flag.String("http", "", "serve /metrics, /statusz and /debug/pprof/ on this address (empty = off)")
 	)
 	flag.Parse()
 	if *namingAddr == "" {
@@ -81,14 +123,46 @@ func main() {
 		executor = batchExec
 	}
 
+	var events diet.EventSink
+	var sinks logsvc.Tee
+	if *logsvcAddr != "" {
+		sinks = append(sinks, &logsvc.Remote{Addr: *logsvcAddr})
+	}
+	if *logEvents {
+		sinks = append(sinks, logsvc.Printer{Logf: log.Printf})
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		events = sinks[0]
+	default:
+		events = sinks
+	}
+	var reg *metrics.Registry
+	if *httpAddr != "" {
+		reg = metrics.NewRegistry()
+	}
+
 	sed, err := diet.NewSeD(diet.SeDConfig{
 		Name: *name, Parent: *parent, Naming: *namingAddr,
 		Capacity: *capacity, PowerGFlops: *power, Cluster: *cluster,
 		WorkDir: dir, ListenAddr: *listen, Executor: executor,
-		CoRI: cori.Config{Window: *coriWindow, HalfLife: *coriHalfLife},
+		CoRI:   cori.Config{Window: *coriWindow, HalfLife: *coriHalfLife},
+		Events: events, Metrics: reg,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if reg != nil {
+		addr, shutdown, err := metrics.Serve(*httpAddr, reg, func(w http.ResponseWriter) {
+			fmt.Fprintf(w, "SeD %s parent %s services %v\n\n", *name, *parent, sed.ServiceNames())
+			writeForecastAccuracy(w, sed)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		log.Printf("observability HTTP on %s (/metrics /statusz /debug/pprof/)", addr)
 	}
 	if err := services.Register(sed, dir); err != nil {
 		log.Fatal(err)
@@ -117,6 +191,7 @@ func main() {
 				for _, svc := range sed.Monitor().Services() {
 					log.Printf("CoRI %s: %v", svc, sed.Monitor().Metrics(svc))
 				}
+				logForecastAccuracy(sed)
 				if batchExec != nil {
 					log.Printf("batch: %+v exec: %+v", batchExec.System.Stats(), batchExec.Stats())
 				}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/diet"
 	"repro/internal/halo"
+	"repro/internal/logsvc"
 	"repro/internal/ramses"
 	"repro/internal/services"
 )
@@ -35,13 +36,21 @@ func main() {
 		outDir   = flag.String("out", "", "directory for returned tarballs (default: discard)")
 		fofB     = flag.Float64("fof-b", 0.2, "FoF linking length, mean-separation units")
 		fofMin   = flag.Int("fof-minpart", 8, "minimum particles per halo")
+		logAddr  = flag.String("logservice", "", "publish this client's request spans (submit/complete) to the LogService bus at this address")
 	)
 	flag.Parse()
 	if *config == "" {
 		log.Fatal("-config is required")
 	}
 
-	client, err := diet.Initialize(*config)
+	clientCfg, err := diet.ParseClientConfig(*config)
+	if err != nil {
+		log.Fatalf("diet_initialize: %v", err)
+	}
+	if *logAddr != "" {
+		clientCfg.Events = &logsvc.Remote{Addr: *logAddr}
+	}
+	client, err := diet.InitializeConfig(clientCfg)
 	if err != nil {
 		log.Fatalf("diet_initialize: %v", err)
 	}

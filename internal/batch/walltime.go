@@ -169,6 +169,18 @@ func (e *ForecastExecutor) ExecuteSized(service string, workGFlops float64, run 
 // draining) skip the body entirely, so `run` never executes twice
 // concurrently.
 func (e *ForecastExecutor) ExecuteSizedWait(service string, workGFlops float64, run func() error) (time.Duration, error) {
+	return e.ExecuteSizedTrace(service, workGFlops, run, nil)
+}
+
+// ExecuteSizedTrace is ExecuteSizedWait with a per-attempt lifecycle
+// callback: after each reservation attempt finishes (normally or killed at
+// its walltime) the callback receives the attempt number, the batch-queue
+// wait that attempt paid, whether it was killed, and its submit/end stamps.
+// diet.SeD probes for this (TracingExecutor) to turn attempts into reserve
+// and overrun_kill spans of the request's trace. A nil trace skips the
+// bookkeeping, making this exactly ExecuteSizedWait.
+func (e *ForecastExecutor) ExecuteSizedTrace(service string, workGFlops float64, run func() error,
+	trace func(attempt int, wait time.Duration, killed bool, start, end time.Time)) (time.Duration, error) {
 	pol := e.Policy.WithDefaults()
 	nodes := e.Nodes
 	if nodes < 1 {
@@ -213,6 +225,7 @@ func (e *ForecastExecutor) ExecuteSizedWait(service string, workGFlops float64, 
 			}
 			return run()
 		}
+		attemptStart := time.Now()
 		j, err := e.System.SubmitRequest(Request{
 			Name: e.JobName, Nodes: nodes, Walltime: wall,
 			ForecastSized: sized, Script: script,
@@ -221,6 +234,9 @@ func (e *ForecastExecutor) ExecuteSizedWait(service string, workGFlops float64, 
 			return queueWait, err
 		}
 		err = e.System.Wait(j)
+		if trace != nil {
+			trace(attempt, j.WaitTime(), errors.Is(err, ErrWalltime), attemptStart, time.Now())
+		}
 		queueWait += j.WaitTime()
 		e.mu.Lock()
 		e.stats.QueueWait += j.WaitTime()

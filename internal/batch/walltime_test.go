@@ -2,6 +2,7 @@ package batch
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -168,5 +169,68 @@ func TestForecastExecutorGivesUpAfterMaxAttempts(t *testing.T) {
 	st := e.Stats()
 	if st.FixedFallback != 1 || st.OverrunKills != 2 || st.Requeues != 1 {
 		t.Fatalf("stats %+v, want 2 kills / 1 requeue / fixed fallback", st)
+	}
+}
+
+// TestExecuteSizedTraceReportsAttempts checks the per-attempt lifecycle
+// callback against a real kill-and-requeue sequence: every attempt fires
+// exactly once, attempts are numbered in order, kills carry the killed flag,
+// and the successful final attempt does not.
+func TestExecuteSizedTraceReportsAttempts(t *testing.T) {
+	s, _ := New(Config{TotalNodes: 1, EnforceWalltime: true})
+	now := time.Unix(1_000_000, 0)
+	m := cori.NewMonitor(cori.Config{Now: func() time.Time { return now }})
+	for i := 0; i < 4; i++ {
+		m.Observe(cori.Sample{Service: "svc", Duration: 10 * time.Millisecond, At: now})
+	}
+	e := &ForecastExecutor{
+		System: s, JobName: "traced", Nodes: 1, Monitor: m,
+		Policy:      WalltimePolicy{Fixed: time.Minute, Margin: 0.01},
+		MaxAttempts: 5,
+	}
+	type attemptRec struct {
+		attempt int
+		wait    time.Duration
+		killed  bool
+	}
+	var mu sync.Mutex
+	var seen []attemptRec
+	_, err := e.ExecuteSizedTrace("svc", 0, func() error {
+		time.Sleep(35 * time.Millisecond)
+		return nil
+	}, func(attempt int, wait time.Duration, killed bool, start, end time.Time) {
+		mu.Lock()
+		defer mu.Unlock()
+		if end.Before(start) {
+			t.Errorf("attempt %d ends before it starts", attempt)
+		}
+		seen = append(seen, attemptRec{attempt, wait, killed})
+	})
+	if err != nil {
+		t.Fatalf("ExecuteSizedTrace = %v, want eventual success", err)
+	}
+	st := e.Stats()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != st.OverrunKills+1 {
+		t.Fatalf("callback fired %d times, want one per attempt (%d kills + success)", len(seen), st.OverrunKills)
+	}
+	for i, rec := range seen {
+		if rec.attempt != i+1 {
+			t.Errorf("attempt numbering: got %d at position %d", rec.attempt, i)
+		}
+		wantKilled := i < len(seen)-1
+		if rec.killed != wantKilled {
+			t.Errorf("attempt %d killed=%v, want %v", rec.attempt, rec.killed, wantKilled)
+		}
+	}
+	// The traced path must account queue wait identically to the untraced
+	// one: the sum over attempts.
+	var sum time.Duration
+	for _, rec := range seen {
+		sum += rec.wait
+	}
+	if sum != st.QueueWait {
+		t.Errorf("traced waits sum %v, stats say %v", sum, st.QueueWait)
 	}
 }

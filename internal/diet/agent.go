@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"repro/internal/cori"
+	"repro/internal/logsvc"
+	"repro/internal/metrics"
 	"repro/internal/naming"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
@@ -77,6 +79,9 @@ type AgentConfig struct {
 	EvictHalfLife time.Duration
 	// Events is an optional LogService-style monitoring sink.
 	Events EventSink
+	// Metrics is an optional Prometheus registry; when set the agent counts
+	// requests, gossip rounds, evictions, replans and migrations into it.
+	Metrics *metrics.Registry
 }
 
 // ServerRef identifies a chosen server back to the client.
@@ -90,6 +95,9 @@ type SubmitRequest struct {
 	Service    string
 	WorkGFlops float64
 	Seq        int
+	// RequestID is the client-minted trace identity of this call; the MA
+	// stamps its schedule span with it and fans it down the collect tree.
+	RequestID string
 }
 
 // SubmitReply carries the ranked server list back to the client (the paper:
@@ -107,6 +115,9 @@ type SubmitReply struct {
 type CollectRequest struct {
 	Service string
 	Limit   int
+	// RequestID carries the trace identity down the hierarchy so every
+	// sub-agent's collect span joins the request's trace.
+	RequestID string
 }
 
 // TopologyNode describes the deployed hierarchy for inspection.
@@ -171,6 +182,8 @@ type Agent struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
+	metrics *agentMetrics // nil unless cfg.Metrics is set
+
 	statMu   sync.Mutex
 	requests int
 	evicted  int
@@ -210,6 +223,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		regSeq:   make(map[string]uint64),
 		registry: cori.NewRegistry(),
 		stop:     make(chan struct{}),
+		metrics:  newAgentMetrics(cfg.Metrics, cfg.Name),
 	}, nil
 }
 
@@ -358,6 +372,9 @@ func (a *Agent) SweepChildren() {
 				a.statMu.Lock()
 				a.evicted++
 				a.statMu.Unlock()
+				if a.metrics != nil {
+					a.metrics.evictions.With(a.cfg.Name).Inc()
+				}
 				publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "evict", c.Kind+":"+c.Name)
 			}
 		default:
@@ -530,8 +547,12 @@ func (a *Agent) Submit(req SubmitRequest) (*SubmitReply, error) {
 	a.statMu.Lock()
 	a.requests++
 	a.statMu.Unlock()
+	if a.metrics != nil {
+		a.metrics.requests.With(a.cfg.Name).Inc()
+	}
 	publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "submit", req.Service)
-	ests := a.Collect(req.Service)
+	t0 := time.Now()
+	ests := a.collect(CollectRequest{Service: req.Service, RequestID: req.RequestID})
 	if len(ests) == 0 {
 		return nil, fmt.Errorf("diet: no server can solve %q", req.Service)
 	}
@@ -550,6 +571,15 @@ func (a *Agent) Submit(req SubmitRequest) (*SubmitReply, error) {
 	}
 	if len(reply.Servers) == 0 {
 		return nil, fmt.Errorf("diet: all candidate servers for %q are unresolvable", req.Service)
+	}
+	done := time.Now()
+	if req.RequestID != "" {
+		publishSpan(a.cfg.Events, span(req.RequestID, a.cfg.Kind.String()+":"+a.cfg.Name,
+			logsvc.KindSchedule, req.Service,
+			fmt.Sprintf("%d candidates, chose %s", len(ests), reply.Servers[0].Name), t0, done))
+	}
+	if a.metrics != nil {
+		a.metrics.scheduleSeconds.With(a.cfg.Name).Observe(done.Sub(t0).Seconds())
 	}
 	return reply, nil
 }
@@ -616,7 +646,20 @@ func (a *Agent) handler() rpc.Handler {
 			if err := rpc.Decode(body, &req); err != nil {
 				return nil, err
 			}
-			return rpc.Encode(a.collect(req))
+			// A remote Collect is a parent fanning a request down: this
+			// sub-agent's share of the finding phase is its collect span.
+			t0 := time.Now()
+			ests := a.collect(req)
+			done := time.Now()
+			if req.RequestID != "" {
+				publishSpan(a.cfg.Events, span(req.RequestID, a.cfg.Kind.String()+":"+a.cfg.Name,
+					logsvc.KindCollect, req.Service,
+					fmt.Sprintf("%d estimates", len(ests)), t0, done))
+			}
+			if a.metrics != nil {
+				a.metrics.collectSeconds.With(a.cfg.Name).Observe(done.Sub(t0).Seconds())
+			}
+			return rpc.Encode(ests)
 		},
 		"Submit": func(body []byte) ([]byte, error) {
 			var req SubmitRequest

@@ -3,12 +3,14 @@ package diet
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/logsvc"
 	"repro/internal/naming"
 	"repro/internal/rpc"
 )
@@ -20,6 +22,10 @@ type ClientConfig struct {
 	Naming     string
 	MAName     string
 	TraceLevel int
+	// Events is an optional monitoring sink; set programmatically, not from
+	// the configuration file. The client publishes the submit and complete
+	// spans of every call through it.
+	Events EventSink
 }
 
 // ParseClientConfig reads a DIET-style client configuration file.
@@ -74,6 +80,7 @@ func ParseClientConfig(path string) (ClientConfig, error) {
 // transfer, queue wait, service initialisation).
 type CallInfo struct {
 	Seq       int
+	RequestID string        // trace identity shared by every span of this call
 	Server    string        // chosen SeD
 	Finding   time.Duration // time to get the ranked server list from the MA
 	QueueWait time.Duration // time the request waited in the SeD queue
@@ -87,10 +94,25 @@ type CallInfo struct {
 type Client struct {
 	cfg    ClientConfig
 	maAddr string
+	id     string // session identity prefixing every request ID
 	seq    atomic.Int64
 
 	mu    sync.Mutex
 	calls []CallInfo
+}
+
+// clientSessions distinguishes sessions within one process; the random part
+// distinguishes processes sharing a logsvc bus.
+var clientSessions atomic.Int64
+
+// newClientID mints a session identity like "c3-9f21".
+func newClientID() string {
+	return fmt.Sprintf("c%d-%04x", clientSessions.Add(1), rand.Uint32()&0xffff)
+}
+
+// requestID names one call of this session, e.g. "c3-9f21-17".
+func (c *Client) requestID(seq int) string {
+	return fmt.Sprintf("%s-%d", c.id, seq)
 }
 
 // Initialize opens a DIET session from a configuration file.
@@ -112,7 +134,7 @@ func InitializeConfig(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("diet: resolving master agent %q: %w", cfg.MAName, err)
 	}
-	return &Client{cfg: cfg, maAddr: entry.Addr}, nil
+	return &Client{cfg: cfg, maAddr: entry.Addr, id: newClientID()}, nil
 }
 
 // Finalize closes the session. Like diet_finalize it does not invalidate
@@ -123,14 +145,21 @@ func (c *Client) Finalize() {}
 // the "finding" phase measured in Figure 6.
 func (c *Client) Submit(service string, workGFlops float64) (*SubmitReply, time.Duration, error) {
 	seq := int(c.seq.Add(1))
+	return c.submit(service, workGFlops, seq, c.requestID(seq))
+}
+
+func (c *Client) submit(service string, workGFlops float64, seq int, requestID string) (*SubmitReply, time.Duration, error) {
 	t0 := time.Now()
 	var reply SubmitReply
 	err := rpc.Call(c.maAddr, "agent:"+c.cfg.MAName, "Submit",
-		SubmitRequest{Service: service, WorkGFlops: workGFlops, Seq: seq}, &reply)
+		SubmitRequest{Service: service, WorkGFlops: workGFlops, Seq: seq, RequestID: requestID}, &reply)
 	if err != nil {
 		return nil, 0, err
 	}
-	return &reply, time.Since(t0), nil
+	found := time.Now()
+	publishSpan(c.cfg.Events, span(requestID, "client:"+c.id, logsvc.KindSubmit, service,
+		fmt.Sprintf("%d servers ranked", len(reply.Servers)), t0, found))
+	return &reply, found.Sub(t0), nil
 }
 
 // CallOption tweaks a Call.
@@ -160,8 +189,11 @@ func (c *Client) Call(p *Profile, opts ...CallOption) (*CallInfo, error) {
 	// stale hint from an earlier call reusing this profile, or the monitor
 	// would pair this solve's duration with the wrong work size.
 	p.WorkGFlops = o.workGFlops
+	seq := int(c.seq.Add(1))
+	requestID := c.requestID(seq)
+	p.RequestID = requestID
 	t0 := time.Now()
-	reply, finding, err := c.Submit(p.Service, o.workGFlops)
+	reply, finding, err := c.submit(p.Service, o.workGFlops, seq, requestID)
 	if err != nil {
 		return nil, fmt.Errorf("diet: submission of %q failed: %w", p.Service, err)
 	}
@@ -174,11 +206,15 @@ func (c *Client) Call(p *Profile, opts ...CallOption) (*CallInfo, error) {
 			continue // fault tolerance: try the next ranked server
 		}
 		*p = *solved.Profile
-		total := time.Since(t0)
+		done := time.Now()
+		total := done.Sub(t0)
 		compute := time.Duration(solved.Timing.ComputeMS * float64(time.Millisecond))
 		queue := time.Duration(solved.Timing.QueueWaitMS * float64(time.Millisecond))
+		publishSpan(c.cfg.Events, span(requestID, "client:"+c.id, logsvc.KindComplete,
+			p.Service, "server "+srv.Name, t0, done))
 		info := CallInfo{
-			Seq:       int(c.seq.Load()),
+			Seq:       seq,
+			RequestID: requestID,
 			Server:    srv.Name,
 			Finding:   finding,
 			QueueWait: queue,

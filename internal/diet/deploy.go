@@ -4,24 +4,35 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/logsvc"
+	"repro/internal/metrics"
 	"repro/internal/naming"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
 )
 
 // callOn ships a profile straight to one server, used by bound function
-// handles.
+// handles. The call skips the MA, so its trace has no submit or schedule
+// span — just the SeD-side spans plus the complete span emitted here.
 func (c *Client) callOn(srv ServerRef, p *Profile) (*CallInfo, error) {
+	seq := int(c.seq.Add(1))
+	requestID := c.requestID(seq)
+	p.RequestID = requestID
 	t0 := time.Now()
 	var solved SolveReply
 	if err := rpc.Call(srv.Addr, "sed:"+srv.Name, "Solve", p, &solved); err != nil {
 		return nil, err
 	}
 	*p = *solved.Profile
-	total := time.Since(t0)
+	done := time.Now()
+	total := done.Sub(t0)
 	compute := time.Duration(solved.Timing.ComputeMS * float64(time.Millisecond))
 	queue := time.Duration(solved.Timing.QueueWaitMS * float64(time.Millisecond))
+	publishSpan(c.cfg.Events, span(requestID, "client:"+c.id, logsvc.KindComplete,
+		p.Service, "bound call, server "+srv.Name, t0, done))
 	info := CallInfo{
+		Seq:       seq,
+		RequestID: requestID,
 		Server:    srv.Name,
 		QueueWait: queue,
 		Compute:   compute,
@@ -62,6 +73,13 @@ type DeploymentSpec struct {
 	LAs    []string // LA names; every LA hangs off the MA
 	SeDs   []SeDSpec
 	Local  bool // in-process transport (tests, experiments); false = TCP
+	// Events, when set, is wired into every component of the deployment (and
+	// into clients opened with Deployment.Client), so one sink sees the whole
+	// platform's events and request traces — the LogService topology.
+	Events EventSink
+	// Metrics, when set, is shared by every component: one registry scrapes
+	// the whole deployment, with per-component labels telling SeDs apart.
+	Metrics *metrics.Registry
 }
 
 // Deployment is a running platform handle.
@@ -72,6 +90,7 @@ type Deployment struct {
 	LAs        []*Agent
 	SeDs       []*SeD
 
+	events  EventSink
 	servers []*rpc.Server
 }
 
@@ -97,9 +116,11 @@ func Deploy(spec DeploymentSpec) (*Deployment, error) {
 	}
 	d.servers = append(d.servers, ns)
 
+	d.events = spec.Events
 	ma, err := NewAgent(AgentConfig{
 		Name: spec.MAName, Kind: MasterAgent, Naming: d.NamingAddr,
 		Policy: spec.Policy, Local: spec.Local,
+		Events: spec.Events, Metrics: spec.Metrics,
 	})
 	if err != nil {
 		d.Close()
@@ -115,6 +136,7 @@ func Deploy(spec DeploymentSpec) (*Deployment, error) {
 		la, err := NewAgent(AgentConfig{
 			Name: laName, Kind: LocalAgent, Parent: spec.MAName,
 			Naming: d.NamingAddr, Local: spec.Local,
+			Events: spec.Events, Metrics: spec.Metrics,
 		})
 		if err != nil {
 			d.Close()
@@ -132,6 +154,7 @@ func Deploy(spec DeploymentSpec) (*Deployment, error) {
 			Name: ss.Name, Parent: ss.Parent, Naming: d.NamingAddr,
 			Capacity: ss.Capacity, PowerGFlops: ss.PowerGFlops,
 			Cluster: ss.Cluster, Local: spec.Local, Executor: ss.Executor,
+			Events: spec.Events, Metrics: spec.Metrics,
 		})
 		if err != nil {
 			d.Close()
@@ -152,9 +175,9 @@ func Deploy(spec DeploymentSpec) (*Deployment, error) {
 	return d, nil
 }
 
-// Client opens a session against the deployment.
+// Client opens a session against the deployment, sharing its event sink.
 func (d *Deployment) Client() (*Client, error) {
-	return InitializeConfig(ClientConfig{Naming: d.NamingAddr, MAName: d.MA.Name()})
+	return InitializeConfig(ClientConfig{Naming: d.NamingAddr, MAName: d.MA.Name(), Events: d.events})
 }
 
 // Close tears the platform down: SeDs, agents, then the naming service.

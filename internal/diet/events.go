@@ -1,5 +1,12 @@
 package diet
 
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/logsvc"
+)
+
 // EventSink receives middleware trace events — the LogService integration
 // of the real DIET, where every component reports start-up, registrations
 // and solve activity to the monitoring tools deployed beside the MA.
@@ -13,5 +20,34 @@ type EventSink interface {
 func publish(sink EventSink, component, kind, detail string) {
 	if sink != nil {
 		sink.Publish(component, kind, detail)
+	}
+}
+
+// publishSpan emits a request-trace span. Sinks that understand spans
+// (logsvc.Bus, logsvc.Remote) get the structured form with its timestamps
+// intact; any other EventSink gets the span flattened into a plain event so
+// no tracing information is lost behind a simpler sink.
+func publishSpan(sink EventSink, sp logsvc.Span) {
+	if sink == nil {
+		return
+	}
+	if ss, ok := sink.(logsvc.SpanSink); ok {
+		ss.PublishSpan(sp)
+		return
+	}
+	detail := fmt.Sprintf("req=%s svc=%s dur=%s", sp.RequestID, sp.Service,
+		time.Duration(sp.EndNanos-sp.StartNanos))
+	if sp.Detail != "" {
+		detail += " " + sp.Detail
+	}
+	sink.Publish(sp.Component, sp.Kind, detail)
+}
+
+// span assembles a logsvc.Span from wall-clock stamps.
+func span(requestID, component, kind, service, detail string, start, end time.Time) logsvc.Span {
+	return logsvc.Span{
+		RequestID: requestID, Component: component, Kind: kind,
+		Service: service, Detail: detail,
+		StartNanos: start.UnixNano(), EndNanos: end.UnixNano(),
 	}
 }

@@ -19,8 +19,9 @@ func TestMonitoringTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	// Deploy() has no events knob (kept minimal); attach the instrumented
-	// components by hand under the same naming service.
+	// Attach the instrumented components by hand under the same naming
+	// service, so only they publish to the bus (DeploymentSpec.Events would
+	// instrument the whole platform).
 	la, err := NewAgent(AgentConfig{
 		Name: "LA-ev", Kind: LocalAgent, Parent: "MA-ev",
 		Naming: d.NamingAddr, Local: true, Events: bus,

@@ -44,6 +44,9 @@ func (a *Agent) Registry() *cori.Registry { return a.registry }
 // rides the existing keepalive traffic; tests and tools can drive it
 // directly. Children that fail are skipped, like a missed heartbeat.
 func (a *Agent) GossipRound() {
+	if a.metrics != nil {
+		a.metrics.gossipRounds.With(a.cfg.Name).Inc()
+	}
 	// Expire contributions whose confidence has fully decayed before
 	// spreading the registry any further: a long-lived agent must not gossip
 	// dead SeDs forever. Peers sweeping with the same rule converge to the

@@ -349,6 +349,10 @@ func (a *Agent) ReplanOnce() []MigrationResult {
 	a.replans++
 	a.migrated += moved
 	a.statMu.Unlock()
+	if a.metrics != nil {
+		a.metrics.replans.With(a.cfg.Name).Inc()
+		a.metrics.migrations.With(a.cfg.Name).Add(float64(moved))
+	}
 	// A pass that changed nothing (the fixed point) stays silent.
 	if moved > 0 || refreshed > 0 {
 		publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "replan",

@@ -139,6 +139,11 @@ type Profile struct {
 	// It travels to the SeD so the CoRI monitor can pair each observed solve
 	// duration with its work size and fit a duration-vs-work model.
 	WorkGFlops float64
+	// RequestID is the trace identity diet.Client stamps on submission; it
+	// rides the profile to the SeD so every span of one request — submit,
+	// schedule, queue, reserve, solve, complete — shares an ID. Empty when
+	// the caller bypasses Client.Call.
+	RequestID string
 }
 
 // NewProfile allocates a profile for the named service with the DIET index

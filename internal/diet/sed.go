@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"repro/internal/cori"
+	"repro/internal/logsvc"
+	"repro/internal/metrics"
 	"repro/internal/naming"
 	"repro/internal/rpc"
 	"repro/internal/scheduler"
@@ -44,6 +46,18 @@ type WaitReportingExecutor interface {
 	ExecuteSizedWait(service string, workGFlops float64, run func() error) (time.Duration, error)
 }
 
+// TracingExecutor is a WaitReportingExecutor that also reports the lifecycle
+// of every reservation attempt — submit stamp, measured batch-queue wait,
+// whether the attempt was killed at its walltime, and when it ended. SeDs
+// probe for it so each attempt becomes a reserve span (and each kill an
+// overrun_kill span) in the request's trace. The callback type is a plain
+// func so batch can implement the contract without importing diet.
+type TracingExecutor interface {
+	WaitReportingExecutor
+	ExecuteSizedTrace(service string, workGFlops float64, run func() error,
+		trace func(attempt int, wait time.Duration, killed bool, start, end time.Time)) (time.Duration, error)
+}
+
 // MonitorBinder is an Executor that wants the SeD's CoRI monitor — NewSeD
 // probes for it and hands its monitor over, so walltime sizing reads the
 // same solve history the SeD's estimates are built from.
@@ -70,6 +84,10 @@ type SeDConfig struct {
 	ListenAddr  string  // TCP listen address when Local is false ("" = :0)
 	Executor    Executor
 	Events      EventSink // optional LogService-style monitoring sink
+	// Metrics is an optional Prometheus registry; when set the SeD feeds
+	// solve counters, queue-wait and solve-duration histograms, forecast
+	// misprediction and batch kill/requeue counters into it.
+	Metrics *metrics.Registry
 	// CoRI tunes the resource-information monitor every SeD hosts (window
 	// size, EWMA weight, staleness half-life, injectable clock). The zero
 	// value selects the cori package defaults.
@@ -127,6 +145,8 @@ type SeD struct {
 	// so a busy SeD's drain completes in one solve duration, not unbounded.
 	drainMu sync.RWMutex
 
+	metrics *sedMetrics // nil unless cfg.Metrics is set
+
 	statMu     sync.Mutex
 	queued     int
 	running    int
@@ -134,6 +154,10 @@ type SeD struct {
 	lastSolveS float64
 	solved     int
 	busySecs   float64
+	// records is the bounded per-solve forecast ring (predicted vs measured
+	// durations); recNext is the rotation cursor once the ring is full.
+	records []SolveRecord
+	recNext int
 	// power and parent start from the config and are mutated by the live
 	// migration protocol (Reparent, SetPower).
 	power  float64
@@ -170,6 +194,7 @@ func NewSeD(cfg SeDConfig) (*SeD, error) {
 		pending:   make(map[string]int),
 		power:     cfg.PowerGFlops,
 		parent:    cfg.Parent,
+		metrics:   newSedMetrics(cfg.Metrics, cfg.Name),
 	}
 	for i := 0; i < cfg.Capacity; i++ {
 		s.slots <- struct{}{}
@@ -364,12 +389,21 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	s.resolvePersistent(p)
 
 	enq := time.Now()
+	// Snapshot the duration forecast the SeD holds at admission — the view
+	// the scheduler's estimate reflected when it routed the request here.
+	// The completed solve is judged against this prediction (SolveRecord),
+	// which is how MispredictPct accounting works on the live stack.
+	predS, predByModel := s.predictSolve(p.Service, p.WorkGFlops)
 	job := &sedJob{grant: make(chan struct{})}
 	s.statMu.Lock()
 	depthAtAdmission := s.queued + s.running
 	s.queued++
 	s.pending[p.Service]++
 	s.statMu.Unlock()
+	if s.metrics != nil {
+		s.metrics.started.With(s.cfg.Name, p.Service).Inc()
+		s.metrics.queueDepth.With(s.cfg.Name).Set(float64(depthAtAdmission + 1))
+	}
 	select {
 	case s.jobs <- job:
 	default:
@@ -386,6 +420,12 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	s.queued--
 	s.running++
 	s.statMu.Unlock()
+	if p.RequestID != "" {
+		// The FIFO wait: admission to slot grant. Batch reservation wait, if
+		// any, appears as reserve spans inside the executor below.
+		publishSpan(s.cfg.Events, span(p.RequestID, "SeD:"+s.cfg.Name, logsvc.KindQueue,
+			p.Service, fmt.Sprintf("depth %d at admission", depthAtAdmission), enq, granted))
+	}
 	publish(s.cfg.Events, "SeD:"+s.cfg.Name, "solve_begin", p.Service)
 
 	// Compute time is clocked inside the body, not around the Executor call:
@@ -404,6 +444,12 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	var batchWait time.Duration
 	var batchWaitMeasured bool
 	switch ex := s.cfg.Executor.(type) {
+	case TracingExecutor:
+		// Like WaitReportingExecutor below, plus a per-attempt callback that
+		// turns each reservation into a reserve span and each walltime kill
+		// into an overrun_kill span carrying the wasted compute.
+		batchWait, err = ex.ExecuteSizedTrace(p.Service, p.WorkGFlops, body, s.attemptTrace(p))
+		batchWaitMeasured = true
 	case WaitReportingExecutor:
 		// Forecast-sized reservations with measured queue wait: the batch
 		// scheduler reports how long the reservation really waited (a
@@ -435,12 +481,23 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 		s.busySecs += compute.Seconds()
 	}
 	s.solved++
+	depthNow := s.queued + s.running
 	s.statMu.Unlock()
 	s.slots <- struct{}{} // release the slot
 	publish(s.cfg.Events, "SeD:"+s.cfg.Name, "solve_end", p.Service)
+	if s.metrics != nil {
+		s.metrics.queueDepth.With(s.cfg.Name).Set(float64(depthNow))
+	}
 
 	if err != nil {
+		if s.metrics != nil {
+			s.metrics.failed.With(s.cfg.Name, p.Service).Inc()
+		}
 		return nil, fmt.Errorf("diet: solve %s on %s: %w", p.Service, s.cfg.Name, err)
+	}
+	if p.RequestID != "" && !solveStart.IsZero() {
+		publishSpan(s.cfg.Events, span(p.RequestID, "SeD:"+s.cfg.Name, logsvc.KindSolve,
+			p.Service, "", solveStart, solveEnd))
 	}
 	// Feed the CoRI monitor so the next Estimate carries a fitted forecast.
 	// Failed solves are excluded: their durations do not predict service time.
@@ -458,12 +515,22 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 	if wait <= 0 {
 		wait = time.Microsecond
 	}
+	if s.metrics != nil {
+		s.metrics.completed.With(s.cfg.Name, p.Service).Inc()
+		s.metrics.queueWait.With(s.cfg.Name, p.Service).Observe(wait.Seconds())
+		s.metrics.solveSeconds.With(s.cfg.Name, p.Service).Observe(compute.Seconds())
+	}
 	s.monitor.Observe(cori.Sample{
 		Service:    p.Service,
 		WorkGFlops: p.WorkGFlops,
 		Duration:   compute,
 		QueueDepth: depthAtAdmission,
 		Wait:       wait,
+	})
+	s.recordSolve(SolveRecord{
+		RequestID: p.RequestID, Service: p.Service, WorkGFlops: p.WorkGFlops,
+		PredictedS: predS, PredictedByModel: predByModel,
+		MeasuredS: compute.Seconds(), WaitS: wait.Seconds(), When: end,
 	})
 	s.storePersistent(p)
 	return &SolveReply{
@@ -475,6 +542,109 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 			ComputeMS:   float64(compute.Microseconds()) / 1000,
 		},
 	}, nil
+}
+
+// predictSolve mirrors the simulator's prediction (sedState.predict): the
+// CoRI model forecast when the model is trusted, else the advertised-power
+// estimate work/power. The bool reports which path produced the prediction.
+func (s *SeD) predictSolve(service string, work float64) (float64, bool) {
+	if model, ok := s.monitor.Model(service); ok && model.Confidence >= scheduler.DefaultMinConfidence {
+		if p := model.SolveSeconds(work); p > 0 {
+			return p, true
+		}
+	}
+	s.statMu.Lock()
+	power := s.power
+	s.statMu.Unlock()
+	if power <= 0 {
+		power = 1
+	}
+	return work / power, false
+}
+
+// attemptTrace builds the per-attempt callback a TracingExecutor invokes:
+// every reservation attempt becomes a reserve span (submit to start, the
+// batch-queue wait) and every walltime kill an overrun_kill span covering
+// the compute the kill threw away. Returns nil when nothing would consume
+// the trace, so the executor skips the bookkeeping entirely.
+func (s *SeD) attemptTrace(p *Profile) func(attempt int, wait time.Duration, killed bool, start, end time.Time) {
+	if s.cfg.Events == nil && s.metrics == nil {
+		return nil
+	}
+	return func(attempt int, wait time.Duration, killed bool, start, end time.Time) {
+		if s.metrics != nil {
+			s.metrics.batchReserveWait.With(s.cfg.Name).Observe(wait.Seconds())
+			if killed {
+				s.metrics.batchKills.With(s.cfg.Name).Inc()
+			}
+			if attempt > 1 {
+				s.metrics.batchRequeues.With(s.cfg.Name).Inc()
+			}
+		}
+		if p.RequestID == "" {
+			return
+		}
+		started := start.Add(wait)
+		publishSpan(s.cfg.Events, span(p.RequestID, "SeD:"+s.cfg.Name, logsvc.KindReserve,
+			p.Service, fmt.Sprintf("attempt %d", attempt), start, started))
+		if killed {
+			publishSpan(s.cfg.Events, span(p.RequestID, "SeD:"+s.cfg.Name, logsvc.KindKill,
+				p.Service, fmt.Sprintf("attempt %d killed at walltime", attempt), started, end))
+		}
+	}
+}
+
+// recordSolve appends one completed solve to the bounded forecast ring and
+// refreshes the per-service accuracy gauge.
+func (s *SeD) recordSolve(rec SolveRecord) {
+	s.statMu.Lock()
+	if len(s.records) < sedSolveRecordCap {
+		s.records = append(s.records, rec)
+	} else {
+		s.records[s.recNext] = rec
+		s.recNext = (s.recNext + 1) % sedSolveRecordCap
+	}
+	s.statMu.Unlock()
+	if s.metrics != nil {
+		s.metrics.mispredictPct.With(s.cfg.Name, rec.Service).Observe(rec.MispredictPct())
+		if acc, ok := s.ForecastAccuracy()[rec.Service]; ok {
+			s.metrics.forecastAbsPct.With(s.cfg.Name, rec.Service).Set(acc.MeanAbsPct)
+		}
+	}
+}
+
+// SolveRecords returns the recent per-solve forecast records, oldest first.
+func (s *SeD) SolveRecords() []SolveRecord {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	out := make([]SolveRecord, 0, len(s.records))
+	out = append(out, s.records[s.recNext:]...)
+	out = append(out, s.records[:s.recNext]...)
+	return out
+}
+
+// ForecastAccuracy summarises live forecast quality per service over the
+// solve-record window — what `dietsed -cori-stats` prints and the
+// diet_sed_forecast_mean_abs_pct gauge exposes.
+func (s *SeD) ForecastAccuracy() map[string]ForecastAccuracy {
+	out := make(map[string]ForecastAccuracy)
+	byModel := make(map[string]int)
+	for _, r := range s.SolveRecords() {
+		acc := out[r.Service]
+		acc.Service = r.Service
+		acc.Solves++
+		acc.MeanAbsPct += r.MispredictPct()
+		if r.PredictedByModel {
+			byModel[r.Service]++
+		}
+		out[r.Service] = acc
+	}
+	for svc, acc := range out {
+		acc.MeanAbsPct /= float64(acc.Solves)
+		acc.ModelShare = float64(byModel[svc]) / float64(acc.Solves)
+		out[svc] = acc
+	}
+	return out
 }
 
 // resolvePersistent fills IN/INOUT arguments that reference server-resident

@@ -2,6 +2,7 @@ package logsvc
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/rpc"
@@ -77,6 +78,137 @@ func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
 	if len(b.History()) != 10 {
 		t.Error("history should hold the cap")
 	}
+	// The loss is accounted, not silent: 50 published, buffer held 1.
+	st := b.Stats()
+	if st.Published != 50 {
+		t.Errorf("published %d, want 50", st.Published)
+	}
+	if st.Dropped != 49 {
+		t.Errorf("dropped %d, want 49", st.Dropped)
+	}
+	if b.Dropped() != st.Dropped {
+		t.Error("Dropped() must agree with Stats()")
+	}
+}
+
+// TestBusContention is the -race stress test of the slow-subscriber
+// semantics: concurrent Publish, Subscribe/Unsubscribe churn, and History
+// reads must never block or race, and every delivery lost to a full buffer
+// must be counted.
+func TestBusContention(t *testing.T) {
+	b := New(64)
+	const (
+		publishers = 4
+		perPub     = 500
+		churners   = 3
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// A deliberately slow subscriber that never drains: every fan-out past
+	// its one-slot buffer must be counted as dropped.
+	_, cancelSlow := b.Subscribe(1)
+	defer cancelSlow()
+
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ch, cancel := b.Subscribe(2)
+				// Drain a little, then walk away mid-stream.
+				for i := 0; i < 3; i++ {
+					select {
+					case <-ch:
+					default:
+					}
+				}
+				cancel()
+				b.History()
+				b.HistorySince(0)
+				b.CountsByKind()
+				b.Stats()
+			}
+		}()
+	}
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			for i := 0; i < perPub; i++ {
+				b.Publish(fmt.Sprintf("c%d", p), "k", fmt.Sprint(i))
+				b.PublishSpan(Span{RequestID: fmt.Sprintf("r%d-%d", p, i), Component: "c", Kind: KindSolve})
+			}
+		}(p)
+	}
+	pubWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	st := b.Stats()
+	want := int64(publishers * perPub * 2)
+	if st.Published != want {
+		t.Fatalf("published %d, want %d", st.Published, want)
+	}
+	// The never-draining one-slot subscriber alone guarantees visible loss,
+	// and the loss must be reported.
+	if st.Dropped < want-1 {
+		t.Errorf("dropped %d, want at least %d (slow subscriber holds 1 of %d)", st.Dropped, want-1, want)
+	}
+	if st.HistoryLen != 64 {
+		t.Errorf("history %d, want the 64 cap", st.HistoryLen)
+	}
+}
+
+func TestHistorySince(t *testing.T) {
+	b := New(100)
+	for i := 0; i < 10; i++ {
+		b.Publish("c", "k", fmt.Sprint(i))
+	}
+	h := b.History()
+	tail := b.HistorySince(h[6].Seq)
+	if len(tail) != 3 {
+		t.Fatalf("tail %d events, want 3", len(tail))
+	}
+	if tail[0].Detail != "7" || tail[2].Detail != "9" {
+		t.Errorf("tail window wrong: %v … %v", tail[0].Detail, tail[2].Detail)
+	}
+	if got := b.HistorySince(h[9].Seq); len(got) != 0 {
+		t.Errorf("caught-up tail %d events, want 0", len(got))
+	}
+	// Events rotated out of the bounded history are simply gone.
+	small := New(4)
+	for i := 0; i < 10; i++ {
+		small.Publish("c", "k", fmt.Sprint(i))
+	}
+	if got := small.HistorySince(0); len(got) != 4 {
+		t.Errorf("bounded tail %d events, want 4", len(got))
+	}
+}
+
+func TestSpanPublishing(t *testing.T) {
+	b := New(10)
+	b.PublishSpan(Span{
+		RequestID: "req-1", Component: "SeD:N1", Kind: KindSolve,
+		Service: "ramsesZoom2", StartNanos: 1000, EndNanos: 4000,
+	})
+	b.Publish("SeD:N1", "start", "addr")
+	h := b.History()
+	if !h[0].IsSpan() || h[1].IsSpan() {
+		t.Fatalf("span classification wrong: %+v", h)
+	}
+	if h[0].DurNanos() != 3000 {
+		t.Errorf("span duration %d, want 3000", h[0].DurNanos())
+	}
+	if h[0].TimeNanos != 4000 {
+		t.Errorf("span event time %d, want the end stamp", h[0].TimeNanos)
+	}
 }
 
 func TestRemotePublish(t *testing.T) {
@@ -102,5 +234,23 @@ func TestRemotePublish(t *testing.T) {
 	r.Publish("", "", "")
 	if len(b.History()) != 2 {
 		t.Error("invalid event must not be recorded")
+	}
+
+	// Spans travel the same RPC with their trace fields intact.
+	r.PublishSpan(Span{RequestID: "req-9", Component: "SeD:X", Kind: KindQueue,
+		Service: "svc", StartNanos: 10, EndNanos: 30})
+	tail, err := r.HistorySince(h[1].Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || tail[0].RequestID != "req-9" || tail[0].DurNanos() != 20 {
+		t.Errorf("remote span tail %+v", tail)
+	}
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Published != 3 {
+		t.Errorf("remote stats %+v, want 3 published", st)
 	}
 }

@@ -1,0 +1,63 @@
+package logsvc
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventSink is the plain publish shape every middleware component accepts
+// (structurally identical to diet.EventSink). *Bus, *Remote, Printer and Tee
+// all satisfy it.
+type EventSink interface {
+	Publish(component, kind, detail string)
+}
+
+// Printer renders events and spans through a printf-style logger — the
+// daemons' -log-events sink, turning the trace into process-log lines.
+type Printer struct {
+	Logf func(format string, v ...any)
+}
+
+// Publish logs one plain event.
+func (p Printer) Publish(component, kind, detail string) {
+	p.Logf("event %-14s %-16s %s", kind, component, detail)
+}
+
+// PublishSpan logs one request-trace span; implements SpanSink.
+func (p Printer) PublishSpan(sp Span) {
+	detail := sp.Detail
+	if detail != "" {
+		detail = " " + detail
+	}
+	p.Logf("span  %-14s %-16s req=%s svc=%s dur=%s%s",
+		sp.Kind, sp.Component, sp.RequestID, sp.Service,
+		time.Duration(sp.EndNanos-sp.StartNanos), detail)
+}
+
+// Tee fans events and spans out to every member sink, so a daemon can both
+// publish to a remote LogService bus and echo into its own log. Members that
+// don't understand spans get them flattened into plain events.
+type Tee []EventSink
+
+// Publish forwards a plain event to every member.
+func (t Tee) Publish(component, kind, detail string) {
+	for _, s := range t {
+		s.Publish(component, kind, detail)
+	}
+}
+
+// PublishSpan forwards a span to every member; implements SpanSink.
+func (t Tee) PublishSpan(sp Span) {
+	for _, s := range t {
+		if ss, ok := s.(SpanSink); ok {
+			ss.PublishSpan(sp)
+			continue
+		}
+		detail := fmt.Sprintf("req=%s svc=%s dur=%s", sp.RequestID, sp.Service,
+			time.Duration(sp.EndNanos-sp.StartNanos))
+		if sp.Detail != "" {
+			detail += " " + sp.Detail
+		}
+		s.Publish(sp.Component, sp.Kind, detail)
+	}
+}

@@ -1,0 +1,103 @@
+package logsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceEvent is one entry of the Chrome Trace Event format (the JSON array
+// flavour chrome://tracing and Perfetto load). Spans become complete events
+// (ph "X"), plain events become instants (ph "i").
+type TraceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TsUS  float64           `json:"ts"`            // microseconds
+	DurUS float64           `json:"dur,omitempty"` // microseconds, complete events only
+	PID   int               `json:"pid"`
+	TID   string            `json:"tid"`
+	Scope string            `json:"s,omitempty"` // instant scope
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace converts bus events into Chrome Trace Event entries: each
+// component becomes a track (tid), spans draw with their measured duration,
+// and timestamps are rebased so the earliest event sits at t=0 (virtual-time
+// simulator traces and wall-clock live traces both render from the origin).
+func ChromeTrace(events []Event) []TraceEvent {
+	var t0 int64 = 0
+	first := true
+	for _, ev := range events {
+		ts := ev.TimeNanos
+		if ev.IsSpan() {
+			ts = ev.StartNanos
+		}
+		if first || ts < t0 {
+			t0, first = ts, false
+		}
+	}
+	out := make([]TraceEvent, 0, len(events))
+	for _, ev := range events {
+		te := TraceEvent{Name: ev.Kind, Cat: ev.Service, PID: 1, TID: ev.Component}
+		args := map[string]string{}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		if ev.IsSpan() {
+			args["request_id"] = ev.RequestID
+			te.Phase = "X"
+			te.TsUS = float64(ev.StartNanos-t0) / 1e3
+			te.DurUS = float64(ev.DurNanos()) / 1e3
+			if te.DurUS == 0 {
+				// Zero-width complete events vanish in the viewer; draw a
+				// hair-width slice instead.
+				te.DurUS = 0.001
+			}
+		} else {
+			te.Phase = "i"
+			te.Scope = "t"
+			te.TsUS = float64(ev.TimeNanos-t0) / 1e3
+		}
+		if len(args) > 0 {
+			te.Args = args
+		}
+		out = append(out, te)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TsUS < out[j].TsUS })
+	return out
+}
+
+// WriteChromeTrace writes events as a chrome://tracing-compatible JSON array.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ChromeTrace(events))
+}
+
+// ReadChromeTrace parses a JSON trace written by WriteChromeTrace; tests use
+// it to round-trip a recorded event stream.
+func ReadChromeTrace(r io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("logsvc: parsing chrome trace: %w", err)
+	}
+	return out, nil
+}
+
+// SpansByRequest groups the span events by request ID, each group ordered by
+// start time — the per-request view a trace inspector wants.
+func SpansByRequest(events []Event) map[string][]Event {
+	out := make(map[string][]Event)
+	for _, ev := range events {
+		if ev.IsSpan() {
+			out[ev.RequestID] = append(out[ev.RequestID], ev)
+		}
+	}
+	for id := range out {
+		sp := out[id]
+		sort.SliceStable(sp, func(i, j int) bool { return sp[i].StartNanos < sp[j].StartNanos })
+	}
+	return out
+}

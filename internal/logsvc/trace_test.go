@@ -1,0 +1,97 @@
+package logsvc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// recordedStream is a miniature request trace the way the live middleware
+// publishes it: one request's spans across four components, plus a plain
+// lifecycle event.
+func recordedStream(b *Bus) {
+	b.Publish("SeD:N1", "start", "local:sed-N1")
+	b.PublishSpan(Span{RequestID: "req-1", Component: "client", Kind: KindSubmit,
+		Service: "ramsesZoom2", StartNanos: 1_000, EndNanos: 2_000})
+	b.PublishSpan(Span{RequestID: "req-1", Component: "MA:MA1", Kind: KindSchedule,
+		Service: "ramsesZoom2", StartNanos: 1_200, EndNanos: 1_800, Detail: "3 candidates"})
+	b.PublishSpan(Span{RequestID: "req-1", Component: "SeD:N1", Kind: KindQueue,
+		Service: "ramsesZoom2", StartNanos: 2_100, EndNanos: 5_000})
+	b.PublishSpan(Span{RequestID: "req-1", Component: "SeD:N1", Kind: KindSolve,
+		Service: "ramsesZoom2", StartNanos: 5_000, EndNanos: 9_000})
+	b.PublishSpan(Span{RequestID: "req-1", Component: "client", Kind: KindComplete,
+		Service: "ramsesZoom2", StartNanos: 1_000, EndNanos: 9_500})
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	b := New(100)
+	recordedStream(b)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, b.History()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 6 {
+		t.Fatalf("round-tripped %d trace events, want 6", len(back))
+	}
+	spans, instants := 0, 0
+	var reqIDs = map[string]int{}
+	for _, te := range back {
+		switch te.Phase {
+		case "X":
+			spans++
+			if te.DurUS <= 0 {
+				t.Errorf("complete event %q has no duration", te.Name)
+			}
+			reqIDs[te.Args["request_id"]]++
+		case "i":
+			instants++
+		default:
+			t.Errorf("unexpected phase %q", te.Phase)
+		}
+	}
+	if spans != 5 || instants != 1 {
+		t.Fatalf("got %d spans + %d instants, want 5 + 1", spans, instants)
+	}
+	if reqIDs["req-1"] != 5 {
+		t.Errorf("request grouping lost in export: %v", reqIDs)
+	}
+	// Timestamps are rebased to the earliest event and ordered.
+	if back[0].TsUS != 0 {
+		t.Errorf("first event at %v µs, want 0 (rebased)", back[0].TsUS)
+	}
+	for i := 1; i < len(back); i++ {
+		if back[i].TsUS < back[i-1].TsUS {
+			t.Error("trace events must be start-ordered")
+		}
+	}
+}
+
+func TestSpansByRequest(t *testing.T) {
+	b := New(100)
+	recordedStream(b)
+	b.PublishSpan(Span{RequestID: "req-2", Component: "client", Kind: KindSubmit,
+		StartNanos: 10_000, EndNanos: 10_500})
+
+	groups := SpansByRequest(b.History())
+	if len(groups) != 2 {
+		t.Fatalf("grouped %d requests, want 2", len(groups))
+	}
+	if len(groups["req-1"]) != 5 || len(groups["req-2"]) != 1 {
+		t.Errorf("group sizes req-1=%d req-2=%d", len(groups["req-1"]), len(groups["req-2"]))
+	}
+	sp := groups["req-1"]
+	for i := 1; i < len(sp); i++ {
+		if sp[i].StartNanos < sp[i-1].StartNanos {
+			t.Error("spans within a request must be start-ordered")
+		}
+	}
+	// Submit and complete share a start stamp; the stable sort keeps the
+	// publication order, so submit leads and solve is the latest starter.
+	if sp[0].Kind != KindSubmit || sp[len(sp)-1].Kind != KindSolve {
+		t.Errorf("span order wrong: first %q last %q", sp[0].Kind, sp[len(sp)-1].Kind)
+	}
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StatusFunc writes a component's free-form status page (the /statusz body).
+type StatusFunc func(w http.ResponseWriter)
+
+// Handler returns the observability mux of a daemon: /metrics (Prometheus
+// text), /statusz (human-readable component status), and the net/http/pprof
+// endpoints under /debug/pprof/ for live CPU/heap profiling. statusz may be
+// nil.
+func Handler(reg *Registry, statusz StatusFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "statusz @ %s\n\n", time.Now().Format(time.RFC3339))
+		if statusz != nil {
+			statusz(w)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "observability endpoints: /metrics /statusz /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve exposes Handler on addr (":0" for ephemeral) in the background and
+// returns the bound address and a shutdown func. Daemons opt in with an
+// -http flag; serving failures after bind are logged nowhere — the endpoint
+// is monitoring, never load-bearing.
+func Serve(addr string, reg *Registry, statusz StatusFunc) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, statusz)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cori"
 	"repro/internal/deploy"
+	"repro/internal/logsvc"
 	"repro/internal/platform"
 	"repro/internal/scheduler"
 )
@@ -129,6 +130,13 @@ type ExperimentConfig struct {
 	// — only measurement can see drift. Empty map = no drift.
 	DriftAtS         float64
 	DriftPowerFactor map[string]float64
+
+	// Spans, when set, receives the same span taxonomy the live stack emits
+	// — submit, schedule, queue, reserve, overrun_kill, solve, complete —
+	// with virtual-time stamps (nanoseconds since campaign start).
+	// logsvc.Bus implements it, so a simulated campaign's trace renders in
+	// the same tooling (cmd/dietmon, chrome://tracing export) as a live one.
+	Spans logsvc.SpanSink
 }
 
 // DefaultExperiment returns the configuration reproducing the paper run.
@@ -406,12 +414,31 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		return byName[ests[order[0]].ServerID]
 	}
 
+	// emitSpan mirrors the live stack's request tracing in virtual time:
+	// stamps are nanoseconds since campaign start, kinds are the shared
+	// logsvc taxonomy, so the trace renders in the same tooling.
+	emitSpan := func(requestID, component, kind, service, detail string, s0, s1 float64) {
+		if cfg.Spans == nil {
+			return
+		}
+		cfg.Spans.PublishSpan(logsvc.Span{
+			RequestID: requestID, Component: component, Kind: kind,
+			Service: service, Detail: detail,
+			StartNanos: int64(s0 * 1e9), EndNanos: int64(s1 * 1e9),
+		})
+	}
+
 	// dispatch queues one request on a SeD and returns its completed record
 	// via the callback when the solve finishes.
 	dispatch := func(id int, service string, work float64, findMS float64, onDone func(RequestRecord)) {
 		sed := choose(service, work, id)
 		predS, predByModel := sed.predict(service, work)
 		now := sim.Now()
+		reqID := fmt.Sprintf("sim-%d", id)
+		sedComp := "SeD:" + sed.place.Name
+		submitS := now - findMS/1000
+		emitSpan(reqID, "client", logsvc.KindSubmit, service, "", submitS, now)
+		emitSpan(reqID, "MA", logsvc.KindSchedule, service, "chose "+sed.place.Name, submitS, now)
 		transferS := cfg.Platform.TransferTime(maSite, sed.place.Site, cfg.NamelistKB/1024).Seconds()
 		arriveS := now + transferS
 		startS := arriveS
@@ -420,6 +447,9 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		}
 		startS += cfg.InitMS / 1000
 		durS := work / sed.truePower
+		// The queue span covers FIFO wait + init, like the live SeD's; batch
+		// grant delays and kills get their own reserve/overrun_kill spans.
+		emitSpan(reqID, sedComp, logsvc.KindQueue, service, "", arriveS, startS)
 		if cfg.BatchMode {
 			// Reservation: size the walltime (fixed grant, or CoRI forecast
 			// via the same batch.WalltimePolicy the live executor runs), pay
@@ -454,6 +484,8 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 				res.Batch.FixedGrant++
 			}
 			startS += cfg.BatchGrantS
+			emitSpan(reqID, sedComp, logsvc.KindReserve, service, "attempt 1",
+				startS-cfg.BatchGrantS, startS)
 			if wall > 0 {
 				// Mirror the live executor's retry budget: a solve that still
 				// overruns after maxBatchAttempts grants would fail for real,
@@ -470,7 +502,13 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 					res.Batch.Requeues++
 					res.Batch.WastedS += wall
 					res.Batch.ReservedS += wall
+					emitSpan(reqID, sedComp, logsvc.KindKill, service,
+						fmt.Sprintf("attempt %d killed at walltime", attempt),
+						startS, startS+wall)
 					startS += wall + cfg.BatchGrantS
+					emitSpan(reqID, sedComp, logsvc.KindReserve, service,
+						fmt.Sprintf("attempt %d", attempt+1),
+						startS-cfg.BatchGrantS, startS)
 					wall *= pol.RequeueFactor
 				}
 				res.Batch.ReservedS += wall
@@ -480,6 +518,9 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 			}
 		}
 		endS := startS + durS
+		emitSpan(reqID, sedComp, logsvc.KindSolve, service, "", startS, endS)
+		emitSpan(reqID, "client", logsvc.KindComplete, service,
+			"server "+sed.place.Name, submitS, endS)
 		depthAtAdmission := sed.queue + sed.running
 		sed.queue++
 		sed.pending[service]++

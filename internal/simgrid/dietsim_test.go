@@ -1,10 +1,12 @@
 package simgrid
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/logsvc"
 	"repro/internal/scheduler"
 )
 
@@ -269,5 +271,65 @@ func TestHoursFormat(t *testing.T) {
 	}
 	if got := Hours(0); got != "0h 0min 0s" {
 		t.Errorf("Hours(0) = %q", got)
+	}
+}
+
+// TestCampaignSpansMirrorLiveTaxonomy checks the virtual-time trace: a
+// simulated batch campaign publishes the same span kinds the live stack
+// emits, grouped per request, stamped in virtual nanoseconds, and the whole
+// trace round-trips through the chrome://tracing exporter.
+func TestCampaignSpansMirrorLiveTaxonomy(t *testing.T) {
+	bus := logsvc.New(8192)
+	cfg := DefaultExperiment(scheduler.NewRoundRobin())
+	cfg.BatchMode = true
+	cfg.BatchGrantS = 30
+	cfg.Spans = bus
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus.Dropped() != 0 {
+		t.Fatalf("bus dropped %d spans; widen the test buffer", bus.Dropped())
+	}
+	groups := logsvc.SpansByRequest(bus.History())
+	if len(groups) != cfg.NRequests+1 { // the phase-1 zoom plus every phase-2 request
+		t.Fatalf("%d traced requests, want %d", len(groups), cfg.NRequests+1)
+	}
+	horizon := int64(res.TotalS * 1e9)
+	for id, spans := range groups {
+		kinds := map[string]int{}
+		for _, sp := range spans {
+			kinds[sp.Kind]++
+			if sp.StartNanos < 0 || sp.EndNanos > horizon+1 {
+				t.Errorf("request %s: span %s [%d,%d] outside the campaign horizon %d",
+					id, sp.Kind, sp.StartNanos, sp.EndNanos, horizon)
+			}
+			if sp.EndNanos < sp.StartNanos {
+				t.Errorf("request %s: span %s ends before it starts", id, sp.Kind)
+			}
+		}
+		// The same core taxonomy the live acceptance test asserts.
+		for _, want := range []string{logsvc.KindSubmit, logsvc.KindSchedule,
+			logsvc.KindQueue, logsvc.KindSolve, logsvc.KindComplete} {
+			if kinds[want] != 1 {
+				t.Errorf("request %s: %d %q spans, want 1 (kinds %v)", id, kinds[want], want, kinds)
+			}
+		}
+		if kinds[logsvc.KindReserve] < 1 {
+			t.Errorf("request %s: batch mode must add a reserve span (kinds %v)", id, kinds)
+		}
+	}
+
+	// The virtual-time trace renders through the same exporter as a live one.
+	var buf bytes.Buffer
+	if err := logsvc.WriteChromeTrace(&buf, bus.History()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := logsvc.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) == 0 {
+		t.Fatal("chrome trace round-trip lost all events")
 	}
 }
