@@ -43,8 +43,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for the random policy")
 		heartbeat  = flag.Duration("heartbeat", 0, "ping children every interval, evicting dead ones; each sweep also gossips CoRI models through the hierarchy (0 = off)")
 		maxMissed  = flag.Int("max-missed", 3, "consecutive missed heartbeats before a child is evicted")
+		missEvict  = flag.Int("heartbeat-miss-evict", 0, "evict a child after this many consecutive failed estimate collections, independent of the heartbeat sweeps (0 = off)")
 		replanInt  = flag.Duration("replan-interval", 0, "live replanning cadence: re-plan the paper deployment from the gossip registry and migrate SeDs online (needs -heartbeat; 0 = off)")
 		replanSvc  = flag.String("replan-service", "ramsesZoom2", "service whose measured models drive live replanning")
+		replanMin  = flag.Float64("replan-min-delta", 0, "hysteresis: drop replan power refreshes within this percentage of the applied figure (0 = keep every refresh)")
+		replanDwel = flag.Duration("replan-dwell", 0, "hysteresis: minimum time between parent moves of the same SeD; moves wanted sooner are deferred (0 = move freely)")
 		evictConf  = flag.Float64("evict-confidence", 0, "expire gossip-registry contributions whose decayed confidence falls below this floor (0 = keep forever)")
 		evictHL    = flag.Duration("evict-halflife", time.Hour, "confidence decay half-life registry eviction uses")
 		logEvents  = flag.Bool("log-events", false, "log middleware trace events (registrations, evictions, replans, migrations)")
@@ -94,6 +97,7 @@ func main() {
 		Name: *name, Kind: agentKind, Parent: *parent,
 		Naming: *namingAddr, Policy: pol, ListenAddr: *listen,
 		HeartbeatInterval: *heartbeat, MaxMissed: *maxMissed,
+		CollectMissEvict:     *missEvict,
 		EvictConfidenceFloor: *evictConf, EvictHalfLife: *evictHL,
 	}
 
@@ -144,8 +148,19 @@ func main() {
 			log.Fatal("-replan-interval is a Master Agent role")
 		}
 		cfg.ReplanInterval = *replanInt
-		cfg.Replanner = deploy.LiveReplanner(platform.PaperDeployment(), *replanSvc)
-		log.Printf("live replanning every %s from %q models", *replanInt, *replanSvc)
+		if *replanMin > 0 || *replanDwel > 0 {
+			// Damped: migration thrash costs a drain pause per move, so noisy
+			// measurements shouldn't bounce SeDs between parents.
+			h := deploy.NewHysteresis(deploy.HysteresisConfig{
+				MinPowerDeltaPct: *replanMin, Dwell: *replanDwel,
+			})
+			cfg.Replanner = deploy.LiveReplannerWith(platform.PaperDeployment(), *replanSvc, h)
+			log.Printf("live replanning every %s from %q models (hysteresis: min delta %.1f%%, dwell %s)",
+				*replanInt, *replanSvc, *replanMin, *replanDwel)
+		} else {
+			cfg.Replanner = deploy.LiveReplanner(platform.PaperDeployment(), *replanSvc)
+			log.Printf("live replanning every %s from %q models", *replanInt, *replanSvc)
+		}
 	}
 	agent, err := diet.NewAgent(cfg)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +69,11 @@ func main() {
 		power      = flag.Float64("power", 50, "advertised processing power, GFlops")
 		cluster    = flag.String("cluster", "", "cluster label for reporting")
 		workdir    = flag.String("workdir", "", "working directory (default: a temp dir)")
+		// Self-healing: watch the parent agent and re-adopt under a fallback
+		// when it goes silent (orphaned-SeD recovery).
+		parentProbe  = flag.Duration("parent-probe", 0, "probe the parent agent at this interval and re-register when it lost us (0 = off)")
+		parentMissed = flag.Int("parent-max-missed", 3, "consecutive failed parent probes before the SeD declares itself orphaned and tries the fallback parents")
+		fallbacks    = flag.String("fallback-parents", "", "comma-separated agent names to adopt the SeD when its parent dies")
 		// CoRI monitor tuning: every SeD records its solve history and
 		// forecasts durations for the history-aware schedulers
 		// (forecastaware, contentionaware on the agent side).
@@ -143,12 +149,21 @@ func main() {
 		reg = metrics.NewRegistry()
 	}
 
+	var fallbackParents []string
+	for _, p := range strings.Split(*fallbacks, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			fallbackParents = append(fallbackParents, p)
+		}
+	}
 	sed, err := diet.NewSeD(diet.SeDConfig{
 		Name: *name, Parent: *parent, Naming: *namingAddr,
 		Capacity: *capacity, PowerGFlops: *power, Cluster: *cluster,
 		WorkDir: dir, ListenAddr: *listen, Executor: executor,
 		CoRI:   cori.Config{Window: *coriWindow, HalfLife: *coriHalfLife},
 		Events: events, Metrics: reg,
+		ParentProbe:     *parentProbe,
+		ParentMaxMissed: *parentMissed,
+		FallbackParents: fallbackParents,
 	})
 	if err != nil {
 		log.Fatal(err)

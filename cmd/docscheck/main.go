@@ -9,7 +9,10 @@
 //     section;
 //
 //   - a cmd/* section in docs/cli.md documents a flag the binary no longer
-//     defines (stale docs).
+//     defines (stale docs);
+//
+//   - an ablation implemented in internal/simgrid ("... ablation (A<n>)")
+//     has no row in README.md's ablation index.
 //
 //     docscheck            # check the repository rooted at the working dir
 //     docscheck -root ../..
@@ -57,7 +60,12 @@ func Check(root string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(problems, flags...), nil
+	problems = append(problems, flags...)
+	ablations, err := CheckAblationIndex(root)
+	if err != nil {
+		return nil, err
+	}
+	return append(problems, ablations...), nil
 }
 
 var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
@@ -163,6 +171,61 @@ func CheckCLIDocs(root string) ([]string, error) {
 		}
 	}
 	return problems, nil
+}
+
+var ablationMarkRe = regexp.MustCompile(`ablation \((A\d+)\)`)
+
+// CheckAblationIndex verifies README.md's ablation index covers every
+// ablation the simulator implements: each "... ablation (A<n>)" marker in a
+// non-test internal/simgrid source file must have an "| A<n> |" row in the
+// README table. New ablations land with their row or CI fails.
+func CheckAblationIndex(root string) ([]string, error) {
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return nil, fmt.Errorf("docscheck: %w", err)
+	}
+	files, err := filepath.Glob(filepath.Join(root, "internal", "simgrid", "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]string) // ablation id → first file implementing it
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		rel, _ := filepath.Rel(root, f)
+		for _, m := range ablationMarkRe.FindAllStringSubmatch(string(data), -1) {
+			if _, dup := seen[m[1]]; !dup {
+				seen[m[1]] = rel
+			}
+		}
+	}
+	var problems []string
+	for _, id := range sortedKeys2(seen) {
+		if !strings.Contains(string(readme), "| "+id+" |") {
+			problems = append(problems, fmt.Sprintf("README.md: ablation index has no | %s | row (%s implements it)", id, seen[id]))
+		}
+	}
+	return problems, nil
+}
+
+// sortedKeys2 sorts ablation ids numerically (A2 before A10).
+func sortedKeys2(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
 }
 
 // splitSections maps each "### cmd/<name>" heading in cli.md to the text of

@@ -151,3 +151,43 @@ func TestCheckLinksSkipsSnippets(t *testing.T) {
 		t.Fatalf("SNIPPETS.md quotes other repos and must be skipped, got %v", problems)
 	}
 }
+
+func TestCheckAblationIndexFlagsMissingRow(t *testing.T) {
+	// A2 is indexed, A10 is implemented but has no row; test files and
+	// markers outside internal/simgrid never count.
+	root := writeTree(t, map[string]string{
+		"README.md": "| Ablation | Question |\n|---|---|\n| A2 | indexed |\n",
+		"internal/simgrid/a.go": "package simgrid\n\n// RunX is the x ablation (A2): indexed.\n" +
+			"// RunY is the y ablation (A10): not indexed.\n",
+		"internal/simgrid/a_test.go": "package simgrid\n\n// the z ablation (A99) in a test file\n",
+		"internal/other/b.go":        "package other\n\n// the w ablation (A77) outside simgrid\n",
+	})
+	problems, err := CheckAblationIndex(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "no | A10 | row") {
+		t.Fatalf("exactly the unindexed A10 must be reported, got %v", problems)
+	}
+	if !strings.Contains(problems[0], "internal/simgrid/a.go") {
+		t.Fatalf("the problem must name the implementing file, got %v", problems)
+	}
+}
+
+func TestCheckAblationIndexOrdersNumerically(t *testing.T) {
+	// With several missing rows the report is stable and numeric: A2 before
+	// A10, never lexicographic.
+	root := writeTree(t, map[string]string{
+		"README.md": "no table at all\n",
+		"internal/simgrid/a.go": "package simgrid\n\n// the big ablation (A10).\n" +
+			"// the small ablation (A2).\n",
+	})
+	problems, err := CheckAblationIndex(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 ||
+		!strings.Contains(problems[0], "| A2 |") || !strings.Contains(problems[1], "| A10 |") {
+		t.Fatalf("want A2 then A10, got %v", problems)
+	}
+}

@@ -11,6 +11,7 @@
 //	experiment -forecast-ablation        # A5: cold vs trained forecasting arms
 //	experiment -deploy-ablation          # A6: measured-power planning + forecast-sized reservations
 //	experiment -warmstart-ablation       # A7: cold vs warm-started SeD join (cluster model gossip)
+//	experiment -failure-ablation         # A10: chaos schedule, self-healing vs fragile hierarchy
 package main
 
 import (
@@ -48,10 +49,12 @@ func main() {
 		rpInterval = flag.Float64("replan-interval", 0, "live arm replanning cadence, seconds (0 = the A8 default, 6h)")
 		bfAblation = flag.Bool("backfill-ablation", false, "run the backfill ablation (A9): no backfill vs fixed-grant backfill vs forecast-sized backfill in the batch queue")
 		bfNodes    = flag.Int("backfill-nodes", 0, "virtual cluster size for the backfill ablation (0 = the A9 default, 8)")
+		flAblation = flag.Bool("failure-ablation", false, "run the failure ablation (A10): the canonical chaos schedule with self-healing armed vs a fragile hierarchy, against a zero-failure reference")
+		flDetect   = flag.Float64("failure-detect", 0, "failure-ablation detection delay, seconds (0 = the default, 90 — three missed heartbeats)")
 		rounds     = flag.Int("rounds", 2, "campaigns per trained arm in the ablations (rounds-1 train, the last measures)")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation && !*rpAblation && !*bfAblation {
+	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation && !*rpAblation && !*bfAblation && !*flAblation {
 		*all = true
 	}
 
@@ -273,6 +276,39 @@ func main() {
 		row(res.Forecast)
 		fmt.Printf("  → forecast-sized walltimes cut mean queue wait %.1f%% vs fixed-grant backfill (%.1f%% vs no backfill) and makespan %.1f%%\n",
 			res.WaitGainPct(), res.BackfillValuePct(), res.MakespanGainPct())
+		return
+	}
+
+	if *flAblation {
+		fmt.Println("Ablation A10 — failure injection: self-healing hierarchy vs fragile hierarchy:")
+		res, err := simgrid.RunFailureAblation(func() simgrid.ExperimentConfig {
+			cfg := simgrid.DefaultExperiment(nil)
+			cfg.NRequests = *requests
+			cfg.Seed = *seed
+			cfg.ArrivalGapS = *arrivalGap
+			return cfg
+		}, simgrid.FailureAblationConfig{DetectS: *flDetect})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(" canonical schedule: crash+restart, partition+heal, in-flight losses, one permanent node death, one tail outage")
+		row := func(name string, r *simgrid.ExperimentResult) {
+			fmt.Printf("  %-22s makespan %s (%.2fh)  solves lost %2d  requeued %2d\n",
+				name, simgrid.Hours(r.TotalS), r.MakespanHours(), r.SolvesLost, r.Requeued)
+		}
+		row("no failures", res.Healthy)
+		row("failures, self-healing", res.Healing)
+		row("failures, fragile", res.Fragile)
+		fmt.Printf("  → self-healing saves %.1f%% makespan and %d solves vs the fragile hierarchy, costing %.1f%% over the failure-free run\n",
+			res.MakespanGainPct(), res.SolvesSaved(), res.HealingOverheadPct())
+		if ok, why := res.RestartsWarm(); ok {
+			fmt.Println("  every healed restart rejoined with a trusted forecast model (snapshot warm restore)")
+		} else {
+			fmt.Printf("  WARNING: %s\n", why)
+		}
+		for _, e := range res.Healing.FailureLog {
+			fmt.Printf("  %8s  %-10s %-12s %s\n", simgrid.Hours(e.AtS), e.Node, e.Kind, e.Detail)
+		}
 		return
 	}
 

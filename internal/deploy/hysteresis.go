@@ -1,0 +1,116 @@
+package deploy
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/cori"
+	"repro/internal/diet"
+	"repro/internal/platform"
+)
+
+// This file damps the live replanning loop. Recovery traffic and noisy
+// measurements make the measured plan flap: a SeD that just survived a crash
+// reports a briefly degraded model, the next replan pass moves it, the pass
+// after moves it back — migration thrash, each move costing a drain pause.
+// Hysteresis imposes two stability rules on the migrations a replanner emits:
+// a parent move must wait out a per-SeD dwell time since that SeD's last
+// move, and a power refresh must differ from the last applied figure by a
+// minimum relative delta. Genuine drift still migrates — it simply has to
+// persist past the dwell window.
+
+// HysteresisConfig tunes the damping.
+type HysteresisConfig struct {
+	// MinPowerDeltaPct drops power refreshes within this percentage of the
+	// last applied (or first seen) power for the SeD. Zero keeps every
+	// refresh.
+	MinPowerDeltaPct float64
+	// Dwell is the minimum time between parent moves of the same SeD; a move
+	// wanted inside the window is deferred to a later pass. Zero allows every
+	// move.
+	Dwell time.Duration
+	// Now is the clock (defaults to time.Now; tests inject a fake).
+	Now func() time.Time
+}
+
+// Hysteresis is the stateful filter. One instance must observe every replan
+// pass of an agent, so the dwell and delta baselines span passes; it is safe
+// for concurrent use.
+type Hysteresis struct {
+	cfg HysteresisConfig
+
+	mu        sync.Mutex
+	lastMoved map[string]time.Time // per SeD, when a parent move was last let through
+	applied   map[string]float64   // per SeD, the last power figure let through
+}
+
+// NewHysteresis builds a filter from the config.
+func NewHysteresis(cfg HysteresisConfig) *Hysteresis {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Hysteresis{
+		cfg:       cfg,
+		lastMoved: make(map[string]time.Time),
+		applied:   make(map[string]float64),
+	}
+}
+
+// Filter applies the stability rules to one replan pass: parent moves inside
+// the dwell window are deferred (dropped from this pass; a later pass
+// re-derives them if the drift persists), and power-only refreshes below the
+// minimum delta are dropped. Everything let through updates the baselines.
+// The live topology tells a parent move from a power refresh — a migration
+// whose NewParent matches the SeD's current parent only carries power.
+func (h *Hysteresis) Filter(live diet.TopologyNode, migs []diet.Migration) []diet.Migration {
+	if h == nil || len(migs) == 0 {
+		return migs
+	}
+	parentOf, _, _ := live.Index()
+	now := h.cfg.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []diet.Migration
+	for _, m := range migs {
+		cur := parentOf[m.SeD]
+		isMove := cur != "" && m.NewParent != cur
+		if isMove {
+			if h.cfg.Dwell > 0 {
+				if last, ok := h.lastMoved[m.SeD]; ok && now.Sub(last) < h.cfg.Dwell {
+					continue // inside the dwell window: defer the move
+				}
+			}
+			h.lastMoved[m.SeD] = now
+			if m.NewPower > 0 {
+				h.applied[m.SeD] = m.NewPower
+			}
+			out = append(out, m)
+			continue
+		}
+		// Power-only refresh.
+		if m.NewPower <= 0 {
+			out = append(out, m)
+			continue
+		}
+		if h.cfg.MinPowerDeltaPct > 0 {
+			if last, ok := h.applied[m.SeD]; ok && last > 0 &&
+				100*math.Abs(m.NewPower-last)/last < h.cfg.MinPowerDeltaPct {
+				continue // below the noise floor: keep the applied figure
+			}
+		}
+		h.applied[m.SeD] = m.NewPower
+		out = append(out, m)
+	}
+	return out
+}
+
+// LiveReplannerWith is LiveReplanner damped by a Hysteresis filter: the
+// measured plan is derived exactly as before, then the emitted migrations
+// pass the stability rules. A nil filter reproduces LiveReplanner.
+func LiveReplannerWith(d platform.Deployment, service string, h *Hysteresis) func(diet.TopologyNode, *cori.Registry) []diet.Migration {
+	inner := LiveReplanner(d, service)
+	return func(live diet.TopologyNode, reg *cori.Registry) []diet.Migration {
+		return h.Filter(live, inner(live, reg))
+	}
+}

@@ -1,0 +1,175 @@
+package deploy
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/diet"
+)
+
+// hystTopoWith builds a live MA→{LA-A,LA-B} hierarchy with each SeD under
+// the named parent — enough shape to tell a parent move from a power
+// refresh. The tests rebuild it between passes because the real replanner
+// diffs against the live topology, which reflects the moves already applied.
+func hystTopoWith(parents map[string]string) diet.TopologyNode {
+	las := map[string]*diet.TopologyNode{
+		"LA-A": {Name: "LA-A", Kind: "LA"},
+		"LA-B": {Name: "LA-B", Kind: "LA"},
+	}
+	for _, sed := range []string{"Nancy1", "Nancy2"} {
+		la := las[parents[sed]]
+		la.Children = append(la.Children, diet.TopologyNode{Name: sed, Kind: "SeD"})
+	}
+	return diet.TopologyNode{
+		Name: "MA", Kind: "MA",
+		Children: []diet.TopologyNode{*las["LA-A"], *las["LA-B"]},
+	}
+}
+
+// hystTopo is the bring-up placement: Nancy1 under LA-A, Nancy2 under LA-B.
+func hystTopo() diet.TopologyNode {
+	return hystTopoWith(map[string]string{"Nancy1": "LA-A", "Nancy2": "LA-B"})
+}
+
+// fakeClock is a hand-advanced clock for dwell-window tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestHysteresisFilter(t *testing.T) {
+	live := hystTopo()
+	move := func(sed, parent string, power float64) diet.Migration {
+		return diet.Migration{SeD: sed, NewParent: parent, NewPower: power}
+	}
+	tests := []struct {
+		name string
+		cfg  HysteresisConfig
+		// rounds are successive replan passes; gap advances the clock
+		// between them. Each round's want is what Filter must let through.
+		gap    time.Duration
+		rounds [][2][]diet.Migration // {in, want} per pass
+		// topos[i], when set, is the live placement Filter sees on pass
+		// i+1 — it must track moves the earlier passes applied.
+		topos []map[string]string
+	}{
+		{
+			name: "zero config passes everything",
+			rounds: [][2][]diet.Migration{
+				{{move("Nancy1", "LA-B", 50), move("Nancy2", "LA-B", 20)},
+					{move("Nancy1", "LA-B", 50), move("Nancy2", "LA-B", 20)}},
+				{{move("Nancy1", "LA-A", 55)}, {move("Nancy1", "LA-A", 55)}},
+			},
+		},
+		{
+			name: "below-threshold power refresh dropped",
+			cfg:  HysteresisConfig{MinPowerDeltaPct: 10},
+			rounds: [][2][]diet.Migration{
+				// First figure always applies (no baseline yet).
+				{{move("Nancy1", "LA-A", 100)}, {move("Nancy1", "LA-A", 100)}},
+				// 5% off the applied 100: noise, dropped.
+				{{move("Nancy1", "LA-A", 105)}, nil},
+				// 15% off: genuine drift, applied; baseline moves to 115.
+				{{move("Nancy1", "LA-A", 115)}, {move("Nancy1", "LA-A", 115)}},
+				// 5% off the new baseline: dropped again.
+				{{move("Nancy1", "LA-A", 110)}, nil},
+			},
+		},
+		{
+			name: "in-dwell parent move deferred",
+			cfg:  HysteresisConfig{Dwell: time.Hour},
+			gap:  10 * time.Minute,
+			rounds: [][2][]diet.Migration{
+				// The first move of a SeD always goes through.
+				{{move("Nancy1", "LA-B", 0)}, {move("Nancy1", "LA-B", 0)}},
+				// 10 minutes later the plan flaps back: inside the dwell
+				// window, deferred. The other SeD's first move is unaffected.
+				{{move("Nancy1", "LA-A", 0), move("Nancy2", "LA-A", 0)},
+					{move("Nancy2", "LA-A", 0)}},
+			},
+			topos: []map[string]string{
+				nil, // bring-up placement
+				// Pass 1's move was applied, so the live tree now has
+				// Nancy1 under LA-B — the flap back is a genuine move.
+				{"Nancy1": "LA-B", "Nancy2": "LA-B"},
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+			tc.cfg.Now = clk.now
+			h := NewHysteresis(tc.cfg)
+			for i, round := range tc.rounds {
+				pass := live
+				if i < len(tc.topos) && tc.topos[i] != nil {
+					pass = hystTopoWith(tc.topos[i])
+				}
+				got := h.Filter(pass, round[0])
+				if !reflect.DeepEqual(got, round[1]) {
+					t.Fatalf("pass %d: got %v, want %v", i+1, got, round[1])
+				}
+				clk.advance(tc.gap)
+			}
+		})
+	}
+}
+
+// TestHysteresisDwellExpires: genuine drift still migrates — the same move
+// deferred inside the dwell window goes through once the window has passed.
+func TestHysteresisDwellExpires(t *testing.T) {
+	live := hystTopo()
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	h := NewHysteresis(HysteresisConfig{Dwell: time.Hour, Now: clk.now})
+	first := []diet.Migration{{SeD: "Nancy1", NewParent: "LA-B"}}
+	if got := h.Filter(live, first); len(got) != 1 {
+		t.Fatalf("first move filtered: %v", got)
+	}
+	// The move was applied: the live tree now shows Nancy1 under LA-B.
+	live = hystTopoWith(map[string]string{"Nancy1": "LA-B", "Nancy2": "LA-B"})
+	back := []diet.Migration{{SeD: "Nancy1", NewParent: "LA-A"}}
+	clk.advance(30 * time.Minute)
+	if got := h.Filter(live, back); got != nil {
+		t.Fatalf("in-dwell move let through: %v", got)
+	}
+	clk.advance(31 * time.Minute) // 61 min since the applied move
+	if got := h.Filter(live, back); len(got) != 1 {
+		t.Fatalf("post-dwell move still deferred: %v", got)
+	}
+}
+
+// TestHysteresisPowerRidesMove: a migration that both moves and re-powers is
+// governed by the dwell rule only, and its power becomes the delta baseline.
+func TestHysteresisPowerRidesMove(t *testing.T) {
+	live := hystTopo()
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	h := NewHysteresis(HysteresisConfig{MinPowerDeltaPct: 10, Dwell: time.Hour, Now: clk.now})
+	if got := h.Filter(live, []diet.Migration{{SeD: "Nancy1", NewParent: "LA-B", NewPower: 100}}); len(got) != 1 {
+		t.Fatalf("move+power filtered: %v", got)
+	}
+	clk.advance(2 * time.Hour)
+	// A power-only refresh (NewParent matches the live parent LA-A) within
+	// 10% of the 100 the move carried: dropped against that baseline.
+	if got := h.Filter(live, []diet.Migration{{SeD: "Nancy1", NewParent: "LA-A", NewPower: 95}}); got != nil {
+		t.Fatalf("refresh within the move-carried baseline let through: %v", got)
+	}
+	// A 20% swing clears the floor.
+	if got := h.Filter(live, []diet.Migration{{SeD: "Nancy1", NewParent: "LA-A", NewPower: 80}}); len(got) != 1 {
+		t.Fatalf("genuine power drift dropped: %v", got)
+	}
+}
+
+// TestHysteresisNilPassthrough: a nil filter (LiveReplannerWith without
+// damping) is a passthrough, and an empty pass stays empty.
+func TestHysteresisNilPassthrough(t *testing.T) {
+	var h *Hysteresis
+	migs := []diet.Migration{{SeD: "Nancy1", NewParent: "LA-B"}}
+	if got := h.Filter(hystTopo(), migs); !reflect.DeepEqual(got, migs) {
+		t.Fatalf("nil filter mangled the pass: %v", got)
+	}
+	hh := NewHysteresis(HysteresisConfig{MinPowerDeltaPct: 50, Dwell: time.Hour})
+	if got := hh.Filter(hystTopo(), nil); got != nil {
+		t.Fatalf("empty pass grew migrations: %v", got)
+	}
+}

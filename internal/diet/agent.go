@@ -52,6 +52,13 @@ type AgentConfig struct {
 	// CollectTimeout bounds the wait for any child's estimate; slow or dead
 	// children are skipped, DIET's basic fault tolerance at the agent level.
 	CollectTimeout time.Duration
+	// CollectMissEvict, when positive, evicts a child after this many
+	// consecutive failed collect probes (connection refused, or no answer
+	// within CollectTimeout). A dead child then costs at most CollectMissEvict
+	// slow collects instead of slowing every submission until the heartbeat
+	// monitor notices — and hierarchies running without a heartbeat still shed
+	// dead children. Zero disables collect-driven eviction.
+	CollectMissEvict int
 	// HeartbeatInterval enables the child monitor: every interval the agent
 	// pings its children and evicts any that miss MaxMissed consecutive
 	// beats — the fault-tolerance mechanism DIET provides at the agent
@@ -174,6 +181,10 @@ type Agent struct {
 	// flight (the probe's answer would describe a state that no longer
 	// holds).
 	regSeq map[string]uint64
+	// collectMiss counts consecutive failed collect probes per child, the
+	// CollectMissEvict bookkeeping. Kept separate from missed so a slow
+	// collect cannot spend the heartbeat monitor's eviction grace.
+	collectMiss map[string]int
 
 	// registry is the cluster-keyed store of child SeD models, filled by
 	// gossip rounds and queried when a fresh SeD registers (warm start).
@@ -215,15 +226,16 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		cfg.MaxMissed = 3
 	}
 	return &Agent{
-		cfg:      cfg,
-		server:   rpc.NewServer(),
-		children: make(map[string]ChildInfo),
-		missed:   make(map[string]int),
-		claims:   make(map[string]string),
-		regSeq:   make(map[string]uint64),
-		registry: cori.NewRegistry(),
-		stop:     make(chan struct{}),
-		metrics:  newAgentMetrics(cfg.Metrics, cfg.Name),
+		cfg:         cfg,
+		server:      rpc.NewServer(),
+		children:    make(map[string]ChildInfo),
+		missed:      make(map[string]int),
+		claims:      make(map[string]string),
+		regSeq:      make(map[string]uint64),
+		collectMiss: make(map[string]int),
+		registry:    cori.NewRegistry(),
+		stop:        make(chan struct{}),
+		metrics:     newAgentMetrics(cfg.Metrics, cfg.Name),
 	}, nil
 }
 
@@ -360,6 +372,7 @@ func (a *Agent) SweepChildren() {
 			if a.missed[c.Name] >= a.cfg.MaxMissed {
 				delete(a.children, c.Name)
 				delete(a.missed, c.Name)
+				delete(a.collectMiss, c.Name)
 				delete(a.claims, c.Name)
 				publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "child_moved", c.Name+" -> "+movedTo)
 			}
@@ -369,6 +382,7 @@ func (a *Agent) SweepChildren() {
 			if a.missed[c.Name] >= a.cfg.MaxMissed {
 				delete(a.children, c.Name)
 				delete(a.missed, c.Name)
+				delete(a.collectMiss, c.Name)
 				a.statMu.Lock()
 				a.evicted++
 				a.statMu.Unlock()
@@ -398,12 +412,18 @@ func (a *Agent) childRegister(c ChildInfo) error {
 		return fmt.Errorf("diet: invalid child registration %+v", c)
 	}
 	a.mu.Lock()
-	defer a.mu.Unlock()
+	prev, held := a.children[c.Name]
 	a.children[c.Name] = c
 	a.missed[c.Name] = 0 // a re-registering child starts with a clean slate
+	a.collectMiss[c.Name] = 0
 	delete(a.claims, c.Name)
 	a.regSeq[c.Name]++
-	publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "child_register", c.Kind+":"+c.Name)
+	a.mu.Unlock()
+	// A SeD's parent-probe watchdog re-registers on every probe; only an
+	// actual change (a join, a new address) is an event worth tracing.
+	if !held || prev.Addr != c.Addr || prev.Kind != c.Kind {
+		publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "child_register", c.Kind+":"+c.Name)
+	}
 	return nil
 }
 
@@ -435,43 +455,110 @@ func (a *Agent) CollectN(service string, limit int) []scheduler.Estimate {
 
 func (a *Agent) collect(req CollectRequest) []scheduler.Estimate {
 	children := a.Children()
+	seqs := make(map[string]uint64, len(children))
+	if a.cfg.CollectMissEvict > 0 {
+		a.mu.RLock()
+		for _, c := range children {
+			seqs[c.Name] = a.regSeq[c.Name]
+		}
+		a.mu.RUnlock()
+	}
 	type result struct {
+		name string
 		ests []scheduler.Estimate
+		ok   bool
 	}
 	results := make(chan result, len(children))
 	for _, c := range children {
 		go func(c ChildInfo) {
-			switch c.Kind {
-			case "SeD":
-				var reply EstimateReply
-				err := rpc.Call(c.Addr, "sed:"+c.Name, "Estimate", req.Service, &reply)
-				if err == nil && reply.OK {
-					results <- result{ests: []scheduler.Estimate{reply.Est}}
-					return
+			// The child RPC gets its own bound: a hung child (accepting but
+			// never answering) must read as a miss, not block this goroutine
+			// forever; connection-refused fails fast on its own.
+			done := make(chan result, 1)
+			go func() {
+				switch c.Kind {
+				case "SeD":
+					var reply EstimateReply
+					err := rpc.Call(c.Addr, "sed:"+c.Name, "Estimate", req.Service, &reply)
+					if err == nil && reply.OK {
+						done <- result{name: c.Name, ests: []scheduler.Estimate{reply.Est}, ok: true}
+						return
+					}
+					// An alive child without the service is a healthy answer.
+					done <- result{name: c.Name, ok: err == nil}
+				default: // sub-agent
+					var ests []scheduler.Estimate
+					err := rpc.Call(c.Addr, "agent:"+c.Name, "Collect", req, &ests)
+					done <- result{name: c.Name, ests: ests, ok: err == nil}
 				}
-			default: // sub-agent
-				var ests []scheduler.Estimate
-				err := rpc.Call(c.Addr, "agent:"+c.Name, "Collect", req, &ests)
-				if err == nil {
-					results <- result{ests: ests}
-					return
-				}
+			}()
+			select {
+			case r := <-done:
+				results <- r
+			case <-time.After(a.cfg.CollectTimeout):
+				results <- result{name: c.Name}
 			}
-			results <- result{}
 		}(c)
 	}
 	var merged []scheduler.Estimate
+	answered := make(map[string]bool, len(children))
 	deadline := time.After(a.cfg.CollectTimeout)
 	for range children {
 		select {
 		case r := <-results:
-			merged = append(merged, r.ests...)
+			answered[r.name] = r.ok
+			if r.ok {
+				merged = append(merged, r.ests...)
+			}
 		case <-deadline:
 			// Children that have not answered are treated as unavailable.
+			a.noteCollectMisses(children, answered, seqs)
 			return a.truncate(req, merged)
 		}
 	}
+	a.noteCollectMisses(children, answered, seqs)
 	return a.truncate(req, merged)
+}
+
+// noteCollectMisses applies the CollectMissEvict bookkeeping after a collect:
+// children that answered reset their miss streak, children that failed or
+// timed out extend it, and a streak reaching the threshold evicts the child —
+// guarded by regSeq like the heartbeat sweep, so a child that re-registered
+// mid-collect is not judged on a probe of its previous life.
+func (a *Agent) noteCollectMisses(children []ChildInfo, answered map[string]bool, seqs map[string]uint64) {
+	if a.cfg.CollectMissEvict <= 0 {
+		return
+	}
+	for _, c := range children {
+		a.mu.Lock()
+		if _, held := a.children[c.Name]; !held || a.regSeq[c.Name] != seqs[c.Name] {
+			a.mu.Unlock()
+			continue
+		}
+		if answered[c.Name] {
+			a.collectMiss[c.Name] = 0
+			a.mu.Unlock()
+			continue
+		}
+		a.collectMiss[c.Name]++
+		evict := a.collectMiss[c.Name] >= a.cfg.CollectMissEvict
+		if evict {
+			delete(a.children, c.Name)
+			delete(a.missed, c.Name)
+			delete(a.collectMiss, c.Name)
+			delete(a.claims, c.Name)
+		}
+		a.mu.Unlock()
+		if evict {
+			a.statMu.Lock()
+			a.evicted++
+			a.statMu.Unlock()
+			if a.metrics != nil {
+				a.metrics.collectEvictions.With(a.cfg.Name).Inc()
+			}
+			publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "collect_evict", c.Kind+":"+c.Name)
+		}
+	}
 }
 
 // truncate applies the distributed-scheduling cap: rank locally and keep the

@@ -198,11 +198,20 @@ func (c *Client) Call(p *Profile, opts ...CallOption) (*CallInfo, error) {
 		return nil, fmt.Errorf("diet: submission of %q failed: %w", p.Service, err)
 	}
 	var lastErr error
-	for _, srv := range reply.Servers {
+	for i, srv := range reply.Servers {
+		attempt := time.Now()
 		var solved SolveReply
 		err := rpc.Call(srv.Addr, "sed:"+srv.Name, "Solve", p, &solved)
 		if err != nil {
 			lastErr = err
+			// The kill-and-requeue of the live stack: the request's work on
+			// the lost server is abandoned and resubmitted to the next ranked
+			// server; the requeue span brackets the failed attempt.
+			if i+1 < len(reply.Servers) {
+				publishSpan(c.cfg.Events, span(requestID, "client:"+c.id, logsvc.KindRequeue,
+					p.Service, fmt.Sprintf("%s failed, retrying on %s", srv.Name, reply.Servers[i+1].Name),
+					attempt, time.Now()))
+			}
 			continue // fault tolerance: try the next ranked server
 		}
 		*p = *solved.Profile

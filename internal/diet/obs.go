@@ -75,6 +75,7 @@ type sedMetrics struct {
 	batchKills       metrics.CounterVec
 	batchRequeues    metrics.CounterVec
 	batchReserveWait metrics.HistogramVec
+	parentFailovers  metrics.CounterVec
 }
 
 func newSedMetrics(reg *metrics.Registry, sed string) *sedMetrics {
@@ -108,20 +109,23 @@ func newSedMetrics(reg *metrics.Registry, sed string) *sedMetrics {
 			"batch reservations resubmitted with a widened grant after a kill", "sed"),
 		batchReserveWait: reg.NewHistogram("diet_sed_batch_reserve_wait_seconds",
 			"batch-queue wait of one reservation attempt (submit to start)", nil, "sed"),
+		parentFailovers: reg.NewCounter("diet_sed_parent_failovers_total",
+			"re-adoptions by a fallback parent after the SeD's agent went silent", "sed"),
 	}
 }
 
 // agentMetrics are an agent's instruments, labelled by agent name. Nil when
 // no registry is configured.
 type agentMetrics struct {
-	agent           string
-	requests        metrics.CounterVec
-	scheduleSeconds metrics.HistogramVec
-	collectSeconds  metrics.HistogramVec
-	gossipRounds    metrics.CounterVec
-	evictions       metrics.CounterVec
-	replans         metrics.CounterVec
-	migrations      metrics.CounterVec
+	agent            string
+	requests         metrics.CounterVec
+	scheduleSeconds  metrics.HistogramVec
+	collectSeconds   metrics.HistogramVec
+	gossipRounds     metrics.CounterVec
+	evictions        metrics.CounterVec
+	collectEvictions metrics.CounterVec
+	replans          metrics.CounterVec
+	migrations       metrics.CounterVec
 }
 
 func newAgentMetrics(reg *metrics.Registry, agent string) *agentMetrics {
@@ -140,6 +144,8 @@ func newAgentMetrics(reg *metrics.Registry, agent string) *agentMetrics {
 			"CoRI model gossip rounds run", "agent"),
 		evictions: reg.NewCounter("diet_agent_evictions_total",
 			"children evicted by the heartbeat monitor", "agent"),
+		collectEvictions: reg.NewCounter("diet_agent_collect_evictions_total",
+			"children evicted after consecutive failed collect probes", "agent"),
 		replans: reg.NewCounter("diet_agent_replans_total",
 			"replanning passes applied to the live hierarchy", "agent"),
 		migrations: reg.NewCounter("diet_agent_migrations_total",

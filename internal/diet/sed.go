@@ -83,7 +83,20 @@ type SeDConfig struct {
 	Local       bool    // serve in-process instead of TCP
 	ListenAddr  string  // TCP listen address when Local is false ("" = :0)
 	Executor    Executor
-	Events      EventSink // optional LogService-style monitoring sink
+	// ParentProbe enables the orphan watchdog: every interval the SeD pings
+	// its current parent agent and, after ParentMaxMissed consecutive silent
+	// probes, walks FallbackParents (typically a sibling LA and the MA) and
+	// re-registers under the first that answers — LA failover without an
+	// operator. The original parent stays a candidate: if it restarts before
+	// any fallback adopts the SeD, re-registration heals the old edge. Zero
+	// disables the watchdog.
+	ParentProbe time.Duration
+	// ParentMaxMissed is the orphan threshold (default 3, like the agents'
+	// heartbeat eviction).
+	ParentMaxMissed int
+	// FallbackParents are tried in order when the parent is declared dead.
+	FallbackParents []string
+	Events          EventSink // optional LogService-style monitoring sink
 	// Metrics is an optional Prometheus registry; when set the SeD feeds
 	// solve counters, queue-wait and solve-duration histograms, forecast
 	// misprediction and batch kill/requeue counters into it.
@@ -162,6 +175,8 @@ type SeD struct {
 	// migration protocol (Reparent, SetPower).
 	power  float64
 	parent string
+	// parentFailovers counts watchdog re-adoptions (see SeDConfig.ParentProbe).
+	parentFailovers int
 }
 
 type sedJob struct {
@@ -278,8 +293,92 @@ func (s *SeD) Start() error {
 			publish(s.cfg.Events, "SeD:"+s.cfg.Name, "warm_start", fmt.Sprintf("%d cluster models", len(reply.Prior)))
 		}
 	}
+	if s.cfg.ParentProbe > 0 && s.cfg.Parent != "" {
+		go s.parentWatch()
+	}
 	publish(s.cfg.Events, "SeD:"+s.cfg.Name, "start", s.addr)
 	return nil
+}
+
+// parentWatch is the orphan watchdog: probe the current parent every
+// ParentProbe, and after ParentMaxMissed silent probes re-home under the
+// first answering fallback parent (or the original, if it restarted first).
+func (s *SeD) parentWatch() {
+	maxMissed := s.cfg.ParentMaxMissed
+	if maxMissed <= 0 {
+		maxMissed = 3
+	}
+	ticker := time.NewTicker(s.cfg.ParentProbe)
+	defer ticker.Stop()
+	missed := 0
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		s.statMu.Lock()
+		parent := s.parent
+		s.statMu.Unlock()
+		if parent == "" {
+			continue
+		}
+		if s.registerWith(parent) == nil {
+			missed = 0
+			continue
+		}
+		missed++
+		if missed < maxMissed {
+			continue
+		}
+		publish(s.cfg.Events, "SeD:"+s.cfg.Name, "orphaned",
+			fmt.Sprintf("parent %s silent for %d probes", parent, missed))
+		// Walk the fallbacks (skipping the dead parent); the first answering
+		// agent adopts this SeD. On failure keep probing: the original parent
+		// may yet restart, and registerWith above heals that edge.
+		for _, cand := range s.cfg.FallbackParents {
+			if cand == parent || cand == "" {
+				continue
+			}
+			if s.registerWith(cand) != nil {
+				continue
+			}
+			s.statMu.Lock()
+			s.parent = cand
+			s.parentFailovers++
+			s.statMu.Unlock()
+			if s.metrics != nil {
+				s.metrics.parentFailovers.With(s.cfg.Name).Inc()
+			}
+			publish(s.cfg.Events, "SeD:"+s.cfg.Name, "adopted", "by "+cand)
+			missed = 0
+			break
+		}
+	}
+}
+
+// registerWith resolves an agent and (re-)registers this SeD as its child.
+// The probe doubles as the registration: an answering agent that lost this
+// child (an LA restart, an eviction during a partition) re-adopts it in the
+// same call, and the ChildRegister reply is cheap for an agent that already
+// holds it.
+func (s *SeD) registerWith(agent string) error {
+	nc := &naming.Client{Addr: s.cfg.Naming}
+	entry, err := nc.Resolve(agent)
+	if err != nil {
+		return err
+	}
+	var reply ChildRegisterReply
+	return rpc.Call(entry.Addr, "agent:"+agent, "ChildRegister",
+		ChildInfo{Name: s.cfg.Name, Addr: s.addr, Kind: "SeD", Cluster: s.cfg.Cluster}, &reply)
+}
+
+// ParentFailoverCount reports how many times the orphan watchdog re-homed
+// this SeD under a fallback parent.
+func (s *SeD) ParentFailoverCount() int {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.parentFailovers
 }
 
 // Close stops serving. Queued requests fail with closed-connection errors.
@@ -413,7 +512,23 @@ func (s *SeD) Solve(p *Profile) (*SolveReply, error) {
 		s.statMu.Unlock()
 		return nil, fmt.Errorf("diet: SeD %s queue full", s.cfg.Name)
 	}
-	<-job.grant
+	select {
+	case <-job.grant:
+	case <-s.stop:
+		// The SeD died under this queued solve. Failing the call (instead of
+		// waiting for a grant that will never come) is what lets the client
+		// kill-and-requeue the work on the next ranked server.
+		select {
+		case <-job.grant:
+			// Granted in the same instant the SeD stopped: run this last solve.
+		default:
+			s.statMu.Lock()
+			s.queued--
+			s.pending[p.Service]--
+			s.statMu.Unlock()
+			return nil, fmt.Errorf("diet: SeD %s stopped before solving %q", s.cfg.Name, p.Service)
+		}
+	}
 	granted := time.Now()
 
 	s.statMu.Lock()
@@ -585,6 +700,12 @@ func (s *SeD) attemptTrace(p *Profile) func(attempt int, wait time.Duration, kil
 			return
 		}
 		started := start.Add(wait)
+		if attempt > 1 {
+			// A resubmission after a walltime kill: the batch requeue path,
+			// marked with the shared recovery span kind.
+			publishSpan(s.cfg.Events, span(p.RequestID, "SeD:"+s.cfg.Name, logsvc.KindRequeue,
+				p.Service, fmt.Sprintf("attempt %d resubmitted", attempt), start, start))
+		}
 		publishSpan(s.cfg.Events, span(p.RequestID, "SeD:"+s.cfg.Name, logsvc.KindReserve,
 			p.Service, fmt.Sprintf("attempt %d", attempt), start, started))
 		if killed {

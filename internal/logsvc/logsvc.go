@@ -30,6 +30,7 @@ const (
 	KindQueue    = "queue"        // SeD: admission to compute start (FIFO + grants)
 	KindReserve  = "reserve"      // batch: one reservation attempt (submit → outcome)
 	KindKill     = "overrun_kill" // batch: an attempt killed at walltime expiry
+	KindRequeue  = "requeue"      // recovery: work resubmitted after a node loss or failed attempt
 	KindSolve    = "solve"        // SeD: the compute body
 	KindComplete = "complete"     // client: the whole call, submission to reply
 )

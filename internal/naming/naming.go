@@ -35,18 +35,52 @@ func NewService() *Service {
 }
 
 // Register binds a name; rebinding an existing name is an error so that two
-// components cannot silently claim the same identity.
+// components cannot silently claim the same identity — unless the current
+// holder is dead. A restarted component comes back on a fresh address, so a
+// conflicting registration probes the old holder (a Ping on its component
+// object) and takes the binding over only when nothing answers there. Kinds
+// the prober cannot address keep the strict no-rebind rule.
 func (s *Service) Register(e Entry) error {
 	if e.Name == "" || e.Addr == "" {
 		return fmt.Errorf("naming: name and addr are required, got %+v", e)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, dup := s.entries[e.Name]; dup && old.Addr != e.Addr {
+	old, dup := s.entries[e.Name]
+	if !dup || old.Addr == e.Addr {
+		s.entries[e.Name] = e
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	// Probe outside the lock: liveness checks must not serialise the registry.
+	if holderAlive(old) {
 		return fmt.Errorf("naming: %q already bound to %s", e.Name, old.Addr)
 	}
-	s.entries[e.Name] = e
-	return nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.entries[e.Name]; !ok || cur == old {
+		// The stale holder is gone (or unchanged since the probe): take over.
+		s.entries[e.Name] = e
+		return nil
+	}
+	return fmt.Errorf("naming: %q re-bound concurrently", e.Name)
+}
+
+// holderAlive pings the component behind an entry. Only the kinds whose rpc
+// object name is derivable ("SeD", "LA", "MA") can be probed; anything else
+// is reported alive, preserving the strict rebind rule for free-form kinds.
+func holderAlive(e Entry) bool {
+	var object string
+	switch e.Kind {
+	case "SeD":
+		object = "sed:" + e.Name
+	case "LA", "MA":
+		object = "agent:" + e.Name
+	default:
+		return true
+	}
+	var pong string
+	return rpc.Call(e.Addr, object, "Ping", struct{}{}, &pong) == nil
 }
 
 // Unregister removes a binding (idempotent).

@@ -131,11 +131,40 @@ type ExperimentConfig struct {
 	DriftAtS         float64
 	DriftPowerFactor map[string]float64
 
+	// Failures injects the chaos schedule (failure.go): crashes, restarts,
+	// partitions, heals and in-flight message losses at virtual times. Empty
+	// = the healthy campaign, byte-identical to the no-failure simulator.
+	Failures []FailureEvent
+	// SelfHealing arms the recovery mirror for the failure schedule: crashed
+	// or partitioned nodes are detected after FailureDetectS and their
+	// in-flight work is requeued on the survivors, restarts rejoin warm via
+	// a CoRI snapshot round-trip, and lost dispatches are resubmitted after
+	// FailureRetryS — the virtual-time twin of heartbeat-miss eviction,
+	// -cori-snapshot restore and kill-and-requeue in internal/diet. Off = the
+	// fragile hierarchy: work on a dead node waits for its restart, or is
+	// lost outright when no restart is scheduled.
+	SelfHealing bool
+	// FailureDetectS is the crash/partition detection delay (default 90 —
+	// three missed 30 s heartbeats, the live Agent.SweepChildren default).
+	FailureDetectS float64
+	// FailureRetryS is the client resubmission backoff after a timed-out or
+	// lost dispatch (default 30).
+	FailureRetryS float64
+
+	// ReplanMinDeltaPct and ReplanDwellS mirror deploy.HysteresisConfig in
+	// virtual time: a replanning pass drops power refreshes within
+	// ReplanMinDeltaPct percent of the advertised figure, and parent moves
+	// within ReplanDwellS seconds of that SeD's previous move. Zero keeps
+	// every update (the A8 behaviour).
+	ReplanMinDeltaPct float64
+	ReplanDwellS      float64
+
 	// Spans, when set, receives the same span taxonomy the live stack emits
-	// — submit, schedule, queue, reserve, overrun_kill, solve, complete —
-	// with virtual-time stamps (nanoseconds since campaign start).
-	// logsvc.Bus implements it, so a simulated campaign's trace renders in
-	// the same tooling (cmd/dietmon, chrome://tracing export) as a live one.
+	// — submit, schedule, queue, reserve, overrun_kill, requeue, solve,
+	// complete — with virtual-time stamps (nanoseconds since campaign
+	// start). logsvc.Bus implements it, so a simulated campaign's trace
+	// renders in the same tooling (cmd/dietmon, chrome://tracing export) as
+	// a live one.
 	Spans logsvc.SpanSink
 }
 
@@ -257,6 +286,13 @@ type ExperimentResult struct {
 	TotalOverhead float64       // summed overhead, seconds (paper: ≈7 s)
 	Batch         BatchStats    // reservation metrics; zero unless BatchMode
 	Replans       []ReplanEvent // live-replanning passes; empty unless enabled
+	// FailureLog, SolvesLost and Requeued are the failure-injection outcome
+	// (zero/empty unless the config carries a failure schedule): the
+	// virtual-time trace of injections and recovery actions, the requests
+	// that never completed, and the recovery resubmissions.
+	FailureLog []FailureLogEntry
+	SolvesLost int
+	Requeued   int
 }
 
 // FirstRecordOn returns the first phase-2 request dispatched to a SeD at or
@@ -289,6 +325,17 @@ type sedState struct {
 	freeAt     float64        // virtual time the current queue drains
 	lastSolve  float64        // seconds; <0 until the SeD has completed a solve
 	records    []RequestRecord
+
+	// Failure-injection state (failure.go); zero values = healthy. Only
+	// campaigns with a failure schedule touch any of it.
+	down        bool                  // crashed and not yet restarted
+	downForever bool                  // fragile mode: crashed with no scheduled restart
+	excluded    bool                  // self-healing: evicted from scheduling after detection
+	partitioned bool                  // computing but cut off; results wait for the heal
+	waitUntil   float64               // fragile mode: virtual time the node is reachable again
+	lossBudget  int                   // dispatches still to drop in flight
+	inflight    []*simJob             // accepted but uncompleted jobs (failure runs only)
+	heldDone    []func(healS float64) // partition: deferred result deliveries
 }
 
 // estimate builds the scheduler's view of the SeD, mirroring
@@ -404,11 +451,43 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		return clientRTT + worst + cfg.ORBOverheadMS + jitter
 	}
 
+	// Failure-injection plumbing. With no schedule every branch below is
+	// dead and the campaign is byte-identical to the no-failure simulator.
+	failEnabled := len(cfg.Failures) > 0
+	detectS := cfg.FailureDetectS
+	if detectS <= 0 {
+		detectS = 90 // three missed 30 s heartbeats
+	}
+	retryS := cfg.FailureRetryS
+	if retryS <= 0 {
+		retryS = 30
+	}
+	lost := 0
+	flog := func(node, kind, detail string) {
+		res.FailureLog = append(res.FailureLog, FailureLogEntry{AtS: sim.Now(), Node: node, Kind: kind, Detail: detail})
+	}
+
 	// choose ranks the SeDs with the plug-in policy and returns the winner.
-	choose := func(service string, work float64, seq int) *sedState {
-		ests := make([]scheduler.Estimate, len(seds))
-		for i, s := range seds {
-			ests[i] = s.estimate(service)
+	// Under self-healing, nodes evicted by failure detection leave the
+	// candidate set, and a job that already bounced off a node avoids it —
+	// the client-failover mirror.
+	choose := func(service string, work float64, seq int, avoid map[string]bool) *sedState {
+		ests := make([]scheduler.Estimate, 0, len(seds))
+		for _, s := range seds {
+			if cfg.SelfHealing && s.excluded {
+				continue
+			}
+			if avoid[s.place.Name] {
+				continue
+			}
+			ests = append(ests, s.estimate(service))
+		}
+		if len(ests) == 0 {
+			// Everything excluded or avoided: fall back to the full set
+			// rather than dropping the request on the floor.
+			for _, s := range seds {
+				ests = append(ests, s.estimate(service))
+			}
 		}
 		order := cfg.Policy.Rank(scheduler.Request{Service: service, Seq: seq, WorkGFlops: work}, ests)
 		return byName[ests[order[0]].ServerID]
@@ -428,22 +507,26 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		})
 	}
 
-	// dispatch queues one request on a SeD and returns its completed record
-	// via the callback when the solve finishes.
-	dispatch := func(id int, service string, work float64, findMS float64, onDone func(RequestRecord)) {
-		sed := choose(service, work, id)
+	// scheduleOn lays one job's timeline onto a SeD: queue wait, optional
+	// batch reservation, solve, completion. Under failure injection the
+	// scheduled events carry the job's placement generation, so a later
+	// cancel-and-requeue turns them into no-ops.
+	scheduleOn := func(sed *sedState, job *simJob) {
+		id, service, work := job.id, job.service, job.work
 		predS, predByModel := sed.predict(service, work)
 		now := sim.Now()
 		reqID := fmt.Sprintf("sim-%d", id)
 		sedComp := "SeD:" + sed.place.Name
-		submitS := now - findMS/1000
-		emitSpan(reqID, "client", logsvc.KindSubmit, service, "", submitS, now)
-		emitSpan(reqID, "MA", logsvc.KindSchedule, service, "chose "+sed.place.Name, submitS, now)
 		transferS := cfg.Platform.TransferTime(maSite, sed.place.Site, cfg.NamelistKB/1024).Seconds()
 		arriveS := now + transferS
 		startS := arriveS
 		if sed.freeAt > startS {
 			startS = sed.freeAt
+		}
+		if failEnabled && !cfg.SelfHealing && sed.waitUntil > startS {
+			// Fragile mode: the node is cut off and nothing reroutes the
+			// work — it reaches the queue when the schedule says it can.
+			startS = sed.waitUntil
 		}
 		startS += cfg.InitMS / 1000
 		durS := work / sed.truePower
@@ -520,31 +603,48 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		endS := startS + durS
 		emitSpan(reqID, sedComp, logsvc.KindSolve, service, "", startS, endS)
 		emitSpan(reqID, "client", logsvc.KindComplete, service,
-			"server "+sed.place.Name, submitS, endS)
+			"server "+sed.place.Name, job.submitS, endS)
 		depthAtAdmission := sed.queue + sed.running
 		sed.queue++
 		sed.pending[service]++
 		sed.freeAt = endS
 		rec := RequestRecord{
 			ID: id, SeD: sed.place.Name,
-			SubmitS: now, StartS: startS, EndS: endS,
-			FindingMS:        findMS,
-			LatencyMS:        (startS - now) * 1000, // transfer + queue wait + init
+			SubmitS: job.dispatch0, StartS: startS, EndS: endS,
+			FindingMS:        job.findMS,
+			LatencyMS:        (startS - job.dispatch0) * 1000, // transfer + queue wait + init
 			WorkGFlops:       work,
 			PredictedS:       predS,
 			PredictedByModel: predByModel,
 		}
+		job.gen++
+		job.cancelled = false
+		job.started = false
+		gen := job.gen
+		if failEnabled {
+			sed.inflight = append(sed.inflight, job)
+		}
 		sim.At(startS, func() {
+			if job.cancelled || job.gen != gen {
+				return
+			}
+			job.started = true
 			sed.queue--
 			sed.running++
 		})
 		sim.At(endS, func() {
+			if job.cancelled || job.gen != gen {
+				return
+			}
 			sed.running--
 			sed.pending[service]--
 			if sed.pending[service] <= 0 {
 				delete(sed.pending, service)
 			}
 			sed.lastSolve = durS
+			if failEnabled {
+				sed.dropInflight(job)
+			}
 			if sed.monitor != nil {
 				// The observed wait is everything between arrival at the SeD
 				// and compute start (queue + init + batch grants), clamped
@@ -562,8 +662,103 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 					Wait:       wait,
 				})
 			}
+			if failEnabled && sed.partitioned {
+				// The solve finished, but its result cannot cross the cut:
+				// delivery — and the client's view of completion — waits for
+				// the heal.
+				sed.heldDone = append(sed.heldDone, func(healS float64) {
+					rec.EndS = healS
+					sed.records = append(sed.records, rec)
+					job.onDone(rec)
+				})
+				return
+			}
 			sed.records = append(sed.records, rec)
-			onDone(rec)
+			job.onDone(rec)
+		})
+	}
+
+	// place routes one job: rank, then — under failure injection — intercept
+	// dispatches that cannot land (lost in flight, refused by a crashed
+	// node, timed out against a partitioned one, or doomed on a dead one).
+	var place func(job *simJob)
+	bounce := func(job *simJob, sed *sedState, delayS float64) {
+		if job.avoid == nil {
+			job.avoid = make(map[string]bool)
+		}
+		job.avoid[sed.place.Name] = true
+		job.attempt++
+		res.Requeued++
+		if len(job.avoid) >= len(seds) {
+			// Nowhere left to try this instant: forget the bounce history
+			// and retry after the backoff.
+			job.avoid = nil
+			sim.After(retryS, func() { place(job) })
+			return
+		}
+		if delayS > 0 {
+			sim.After(delayS, func() { place(job) })
+		} else {
+			place(job)
+		}
+	}
+	place = func(job *simJob) {
+		now := sim.Now()
+		sed := choose(job.service, job.work, job.id, job.avoid)
+		reqID := fmt.Sprintf("sim-%d", job.id)
+		if job.attempt == 1 {
+			job.dispatch0 = now
+			emitSpan(reqID, "client", logsvc.KindSubmit, job.service, "", job.submitS, now)
+			emitSpan(reqID, "MA", logsvc.KindSchedule, job.service, "chose "+sed.place.Name, job.submitS, now)
+		}
+		if failEnabled {
+			switch {
+			case sed.lossBudget > 0:
+				// The dispatch vanishes in flight between the MA's answer and
+				// the SeD's queue.
+				sed.lossBudget--
+				if cfg.SelfHealing {
+					flog(sed.place.Name, "requeue", fmt.Sprintf("req %d lost in flight, resubmitted", job.id))
+					emitSpan(reqID, "client", logsvc.KindRequeue, job.service,
+						fmt.Sprintf("lost in flight to %s", sed.place.Name), now, now+retryS)
+					bounce(job, sed, retryS)
+				} else {
+					lost++
+					flog(sed.place.Name, "lost", fmt.Sprintf("req %d lost in flight, never resubmitted", job.id))
+				}
+				return
+			case cfg.SelfHealing && sed.down:
+				// Connection refused: the client fails over immediately.
+				flog(sed.place.Name, "requeue", fmt.Sprintf("req %d refused by crashed %s", job.id, sed.place.Name))
+				emitSpan(reqID, "client", logsvc.KindRequeue, job.service, sed.place.Name+" refused", now, now)
+				bounce(job, sed, 0)
+				return
+			case cfg.SelfHealing && sed.partitioned:
+				// Unreachable, not refused: the call times out before the
+				// client fails over.
+				flog(sed.place.Name, "requeue", fmt.Sprintf("req %d timed out against partitioned %s", job.id, sed.place.Name))
+				emitSpan(reqID, "client", logsvc.KindRequeue, job.service, sed.place.Name+" unreachable", now, now+retryS)
+				bounce(job, sed, retryS)
+				return
+			case !cfg.SelfHealing && sed.downForever:
+				// Nothing detects the dead node; the request joins a queue
+				// that will never drain.
+				lost++
+				sed.queue++
+				sed.pending[job.service]++
+				flog(sed.place.Name, "lost", fmt.Sprintf("req %d routed to dead node", job.id))
+				return
+			}
+		}
+		scheduleOn(sed, job)
+	}
+
+	// dispatch queues one request on a SeD and returns its completed record
+	// via the callback when the solve finishes.
+	dispatch := func(id int, service string, work float64, findMS float64, onDone func(RequestRecord)) {
+		place(&simJob{
+			id: id, service: service, work: work, findMS: findMS,
+			submitS: sim.Now() - findMS/1000, attempt: 1, onDone: onDone,
 		})
 	}
 
@@ -617,6 +812,154 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		})
 	}
 
+	// The failure schedule: each event is planted in virtual time, and the
+	// recovery branch (or its absence) plays out from there.
+	if failEnabled {
+		if err := validateFailureSchedule(cfg.Failures, byName); err != nil {
+			return nil, err
+		}
+		modelTrusted := func(s *sedState) bool {
+			if s.monitor == nil {
+				return false
+			}
+			m, ok := s.monitor.Model("ramsesZoom2")
+			return ok && m.Confidence >= scheduler.DefaultMinConfidence && m.SolveSeconds(cfg.Phase2WorkGFlops) > 0
+		}
+		for _, f := range cfg.Failures {
+			f := f
+			sed := byName[f.Node]
+			switch f.Kind {
+			case FailCrash:
+				restartS, hasRestart := recoveryAfter(cfg.Failures, f.Node, FailRestart, f.AtS)
+				sim.At(f.AtS, func() {
+					sed.down = true
+					held := sed.cancelInflight()
+					flog(f.Node, "crash", fmt.Sprintf("%d in-flight solves killed", len(held)))
+					switch {
+					case cfg.SelfHealing:
+						// Heartbeat detection: the parent evicts the node and
+						// requeues its dead work among the survivors — the
+						// kill-and-requeue path of the live migration
+						// protocol.
+						crashS := sim.Now()
+						sim.After(detectS, func() {
+							sed.excluded = true
+							held = append(held, sed.cancelInflight()...)
+							flog(f.Node, "detect_evict", fmt.Sprintf("evicted after %.0fs silence, requeueing %d solves", detectS, len(held)))
+							for _, j := range held {
+								res.Requeued++
+								emitSpan(fmt.Sprintf("sim-%d", j.id), sed.parent, logsvc.KindRequeue, j.service,
+									"node "+f.Node+" lost", crashS, sim.Now())
+								j.attempt++
+								if j.avoid == nil {
+									j.avoid = make(map[string]bool)
+								}
+								j.avoid[f.Node] = true
+								place(j)
+							}
+							held = nil
+						})
+					case hasRestart:
+						// Fragile with a restart coming: the clients hang on
+						// their calls and the node replays its backlog
+						// serially once it is back.
+						sed.freeAt = restartS
+						for _, j := range held {
+							scheduleOn(sed, j)
+						}
+					default:
+						// Fragile, never restarted: the work dies with the
+						// node, and nothing stops new requests landing on it.
+						sed.downForever = true
+						for _, j := range held {
+							lost++
+							flog(f.Node, "lost", fmt.Sprintf("req %d died with the node", j.id))
+						}
+					}
+				})
+			case FailRestart:
+				sim.At(f.AtS, func() {
+					if !sed.down {
+						return // restart without a crash: nothing to do
+					}
+					sed.down = false
+					if cfg.SelfHealing {
+						sed.excluded = false
+						sed.freeAt = sim.Now()
+						// -cori-snapshot warm restore: the monitor rides a
+						// snapshot round-trip and comes back trained.
+						if sed.monitor != nil {
+							mcfg := cfg.CoRI
+							mcfg.Now = virtualClock(sim)
+							fresh := cori.NewMonitor(mcfg)
+							if err := fresh.Restore(sed.monitor.Snapshot()); err == nil {
+								sed.monitor = fresh
+								if cfg.Monitors != nil {
+									cfg.Monitors[sed.place.Name] = fresh
+								}
+							}
+						}
+						flog(f.Node, "restart", fmt.Sprintf("rejoined warm, model trusted=%v", modelTrusted(sed)))
+					} else {
+						// No snapshot on disk: the monitor restarts cold and
+						// retrains from scratch.
+						if sed.monitor != nil {
+							mcfg := cfg.CoRI
+							mcfg.Now = virtualClock(sim)
+							sed.monitor = cori.NewMonitor(mcfg)
+							if cfg.Monitors != nil {
+								cfg.Monitors[sed.place.Name] = sed.monitor
+							}
+						}
+						flog(f.Node, "restart", "rejoined cold, model retraining from scratch")
+					}
+				})
+			case FailPartition:
+				healS, hasHeal := recoveryAfter(cfg.Failures, f.Node, FailHeal, f.AtS)
+				sim.At(f.AtS, func() {
+					sed.partitioned = true
+					flog(f.Node, "partition", "node cut off; solves continue, results held")
+					if cfg.SelfHealing {
+						sim.After(detectS, func() {
+							if !sed.partitioned {
+								return // healed before detection
+							}
+							sed.excluded = true
+							flog(f.Node, "detect_evict", fmt.Sprintf("excluded after %.0fs silence", detectS))
+						})
+					} else if hasHeal {
+						sed.waitUntil = healS
+					}
+				})
+			case FailHeal:
+				sim.At(f.AtS, func() {
+					if !sed.partitioned {
+						return
+					}
+					sed.partitioned = false
+					sed.excluded = false
+					sed.waitUntil = 0
+					healS := sim.Now()
+					held := sed.heldDone
+					sed.heldDone = nil
+					flog(f.Node, "heal", fmt.Sprintf("%d deferred results delivered", len(held)))
+					for _, deliver := range held {
+						deliver(healS)
+					}
+				})
+			case FailLoss:
+				sim.At(f.AtS, func() {
+					n := f.Count
+					if n <= 0 {
+						n = 1
+					}
+					sed.lossBudget += n
+					flog(f.Node, "loss", fmt.Sprintf("next %d dispatches will vanish in flight", n))
+				})
+			}
+		}
+	}
+
 	// Live replanning: the virtual-time mirror of a Master Agent running
 	// deploy.Replan on its heartbeat and applying the diff with the
 	// SeD-migration protocol (diet.Agent.ApplyPlan).
@@ -629,6 +972,9 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		if pause <= 0 {
 			pause = 30
 		}
+		// Hysteresis mirror (deploy.Hysteresis in virtual time): per-SeD time
+		// of the last applied parent move, for the dwell rule.
+		lastMovedAt := make(map[string]float64)
 		var tick func()
 		tick = func() {
 			if done >= cfg.NRequests {
@@ -651,7 +997,9 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 				power, parent := plan.PowerByName(), plan.ParentByName()
 				for _, s := range seds {
 					if p, ok := power[s.place.Name]; ok && p > 0 &&
-						math.Abs(p-s.advertised) > 1e-9*math.Max(1, s.advertised) {
+						math.Abs(p-s.advertised) > 1e-9*math.Max(1, s.advertised) &&
+						(cfg.ReplanMinDeltaPct <= 0 || s.advertised <= 0 ||
+							100*math.Abs(p-s.advertised)/s.advertised >= cfg.ReplanMinDeltaPct) {
 						s.advertised = p
 						ev.PowerUpdates++
 					}
@@ -659,6 +1007,12 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 					if !ok || s.parent == want {
 						continue
 					}
+					if cfg.ReplanDwellS > 0 {
+						if last, moved := lastMovedAt[s.place.Name]; moved && sim.Now()-last < cfg.ReplanDwellS {
+							continue // inside the dwell window: defer the move
+						}
+					}
+					lastMovedAt[s.place.Name] = sim.Now()
 					// The reparent: drain pause before new work starts, and
 					// the monitor rides the same Snapshot/Restore round-trip
 					// the live protocol's persistence layer guarantees — the
@@ -707,9 +1061,10 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		return nil, fmt.Errorf("simgrid: %d reservations exhausted the %d-attempt walltime budget — the live executor would fail these solves; widen the grant or train the forecasts",
 			batchExhausted, maxBatchAttempts)
 	}
-	if done != cfg.NRequests {
-		return nil, fmt.Errorf("simgrid: only %d of %d requests completed", done, cfg.NRequests)
+	if done+lost != cfg.NRequests {
+		return nil, fmt.Errorf("simgrid: only %d of %d requests completed (%d lost to failures)", done, cfg.NRequests, lost)
 	}
+	res.SolvesLost = lost
 
 	sort.Slice(res.Records, func(i, j int) bool { return res.Records[i].ID < res.Records[j].ID })
 	var sumDur, sumOverhead float64
@@ -721,9 +1076,11 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		sumDur += r.DurationS()
 		sumOverhead += (r.FindingMS + cfg.InitMS) / 1000
 	}
-	res.MeanPhase2S = sumDur / float64(len(res.Records))
+	if n := len(res.Records); n > 0 { // a fragile failure run can lose phase-2 requests
+		res.MeanPhase2S = sumDur / float64(n)
+		res.OverheadMS = sumOverhead / float64(n) * 1000
+	}
 	res.SequentialS = sumDur + res.Phase1.DurationS()
-	res.OverheadMS = sumOverhead / float64(len(res.Records)) * 1000
 	res.TotalOverhead = sumOverhead + (res.Phase1.FindingMS+cfg.InitMS)/1000
 
 	for _, s := range seds {

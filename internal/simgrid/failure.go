@@ -1,0 +1,136 @@
+package simgrid
+
+import "fmt"
+
+// This file injects failures into the virtual-time campaign and mirrors the
+// live stack's self-healing machinery (heartbeat-miss eviction, restart with
+// -cori-snapshot warm restore, kill-and-requeue of in-flight solves) so the
+// A10 ablation can price recovery against a hierarchy that has none. The
+// schedule is static — every crash, restart, partition, heal and loss event
+// is declared up front — which keeps failure runs exactly as deterministic as
+// healthy ones: same seed + same schedule → identical traces.
+
+// FailureKind enumerates the injectable failures.
+type FailureKind string
+
+// Failure kinds.
+const (
+	// FailCrash kills a SeD process: running and queued solves die with it.
+	// With a later FailRestart the node comes back; without one it is gone
+	// for the rest of the campaign.
+	FailCrash FailureKind = "crash"
+	// FailRestart brings a crashed SeD back. Self-healing restores its CoRI
+	// monitor from a snapshot (no retraining); a fragile restart comes up
+	// cold and replays its backlog serially.
+	FailRestart FailureKind = "restart"
+	// FailPartition cuts the node off the network: it keeps computing, but
+	// results cannot be delivered and new requests cannot reach it until the
+	// matching FailHeal.
+	FailPartition FailureKind = "partition"
+	// FailHeal ends a partition and delivers the results it held back.
+	FailHeal FailureKind = "heal"
+	// FailLoss drops the next Count dispatches to the node in flight — the
+	// request vanishes between the MA's answer and the SeD's queue.
+	FailLoss FailureKind = "loss"
+)
+
+// FailureEvent schedules one failure at a virtual time.
+type FailureEvent struct {
+	AtS   float64
+	Kind  FailureKind
+	Node  string // SeD name
+	Count int    // FailLoss: dispatches to drop (default 1)
+}
+
+// FailureLogEntry is one line of a campaign's failure/recovery trace —
+// injections and every recovery decision the run took, in virtual-time
+// order. The determinism tests compare these traces verbatim.
+type FailureLogEntry struct {
+	AtS    float64
+	Node   string
+	Kind   string // event kind, or a recovery action: detect_evict, requeue, lost, restart...
+	Detail string
+}
+
+// simJob is one request's mutable dispatch state under failure injection:
+// enough to cancel its scheduled events (gen), requeue it elsewhere (avoid),
+// and replay it after a fragile restart.
+type simJob struct {
+	id      int
+	service string
+	work    float64
+	findMS  float64
+	submitS float64 // virtual time the client issued the request
+	attempt int
+	onDone  func(RequestRecord)
+
+	dispatch0 float64         // first placement time (RequestRecord.SubmitS)
+	avoid     map[string]bool // nodes this job already bounced off
+	gen       int             // placement generation; stale events see an old gen
+	cancelled bool
+	started   bool // the start event fired (running, not queued)
+}
+
+// dropInflight removes a completed job from the SeD's in-flight list.
+func (s *sedState) dropInflight(job *simJob) {
+	for i, j := range s.inflight {
+		if j == job {
+			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// cancelInflight cancels every in-flight job on the SeD — their scheduled
+// start/completion events become no-ops — undoes their queue accounting, and
+// returns them in dispatch order for requeue or replay.
+func (s *sedState) cancelInflight() []*simJob {
+	held := s.inflight
+	s.inflight = nil
+	for _, j := range held {
+		j.cancelled = true
+		if j.started {
+			s.running--
+		} else {
+			s.queue--
+		}
+		s.pending[j.service]--
+		if s.pending[j.service] <= 0 {
+			delete(s.pending, j.service)
+		}
+	}
+	return held
+}
+
+// recoveryAfter finds the first event of the given kind for the node after
+// time t — how a crash looks up its restart and a partition its heal.
+func recoveryAfter(failures []FailureEvent, node string, kind FailureKind, t float64) (float64, bool) {
+	best, ok := 0.0, false
+	for _, f := range failures {
+		if f.Node == node && f.Kind == kind && f.AtS > t && (!ok || f.AtS < best) {
+			best, ok = f.AtS, true
+		}
+	}
+	return best, ok
+}
+
+// validateFailureSchedule rejects schedules the simulator cannot model:
+// events on unknown nodes, and partitions with no later heal (in fragile
+// mode the held results would never be delivered and the campaign could not
+// account for every request).
+func validateFailureSchedule(failures []FailureEvent, byName map[string]*sedState) error {
+	for _, f := range failures {
+		if _, ok := byName[f.Node]; !ok {
+			return fmt.Errorf("simgrid: failure schedule names unknown SeD %q", f.Node)
+		}
+		if f.AtS < 0 {
+			return fmt.Errorf("simgrid: failure event for %s at negative time %g", f.Node, f.AtS)
+		}
+		if f.Kind == FailPartition {
+			if _, ok := recoveryAfter(failures, f.Node, FailHeal, f.AtS); !ok {
+				return fmt.Errorf("simgrid: partition of %s at %gs has no later heal", f.Node, f.AtS)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package simgrid
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/logsvc"
+	"repro/internal/scheduler"
+)
+
+// failureCampaign is the shared failure-test configuration: the canonical
+// paced campaign the A10 arms run.
+func failureCampaign() ExperimentConfig {
+	cfg := DefaultExperiment(scheduler.NewPowerAware())
+	cfg.Forecast = true
+	cfg.CoRI.HalfLife = TrainingHalfLife
+	cfg.ArrivalGapS = 600
+	return cfg
+}
+
+func TestFailureScheduleValidation(t *testing.T) {
+	cfg := failureCampaign()
+	cfg.Failures = []FailureEvent{{AtS: 100, Kind: FailCrash, Node: "NoSuchSeD"}}
+	if _, err := RunExperiment(cfg); err == nil || !strings.Contains(err.Error(), "unknown SeD") {
+		t.Fatalf("unknown node not rejected: %v", err)
+	}
+	cfg = failureCampaign()
+	cfg.Failures = []FailureEvent{{AtS: 100, Kind: FailPartition, Node: "Nancy1"}}
+	if _, err := RunExperiment(cfg); err == nil || !strings.Contains(err.Error(), "no later heal") {
+		t.Fatalf("heal-less partition not rejected: %v", err)
+	}
+}
+
+// TestFailureAccounting: under self-healing every request completes; fragile
+// runs account for every request as completed or lost — none vanish.
+func TestFailureAccounting(t *testing.T) {
+	sched := CanonicalFailureSchedule()
+	for _, healing := range []bool{true, false} {
+		cfg := failureCampaign()
+		cfg.Failures = sched
+		cfg.SelfHealing = healing
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			t.Fatalf("healing=%v: %v", healing, err)
+		}
+		if got := len(res.Records) + res.SolvesLost; got != cfg.NRequests {
+			t.Fatalf("healing=%v: %d records + %d lost = %d, want %d",
+				healing, len(res.Records), res.SolvesLost, got, cfg.NRequests)
+		}
+		if healing {
+			if res.SolvesLost != 0 {
+				t.Fatalf("self-healing lost %d solves", res.SolvesLost)
+			}
+			if res.Requeued == 0 {
+				t.Fatal("self-healing recovered without a single requeue — the schedule never bit")
+			}
+		} else {
+			if res.SolvesLost == 0 {
+				t.Fatal("fragile run lost nothing — the dead node and the message losses never bit")
+			}
+			if res.Requeued != 0 {
+				t.Fatalf("fragile run requeued %d times; fragility must not recover", res.Requeued)
+			}
+		}
+	}
+}
+
+// TestFailureDeterminism: same seed + same schedule → identical failure log,
+// records, and totals, for both arms. The chaos is scripted, not random.
+func TestFailureDeterminism(t *testing.T) {
+	run := func(healing bool) *ExperimentResult {
+		cfg := failureCampaign()
+		cfg.Failures = CanonicalFailureSchedule()
+		cfg.SelfHealing = healing
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			t.Fatalf("healing=%v: %v", healing, err)
+		}
+		return res
+	}
+	for _, healing := range []bool{true, false} {
+		a, b := run(healing), run(healing)
+		if !reflect.DeepEqual(a.FailureLog, b.FailureLog) {
+			t.Fatalf("healing=%v: failure logs differ across identical runs:\n%v\n%v", healing, a.FailureLog, b.FailureLog)
+		}
+		if !reflect.DeepEqual(a.Records, b.Records) {
+			t.Fatalf("healing=%v: request records differ across identical runs", healing)
+		}
+		if a.TotalS != b.TotalS || a.SolvesLost != b.SolvesLost || a.Requeued != b.Requeued {
+			t.Fatalf("healing=%v: totals differ: %.3f/%d/%d vs %.3f/%d/%d",
+				healing, a.TotalS, a.SolvesLost, a.Requeued, b.TotalS, b.SolvesLost, b.Requeued)
+		}
+	}
+}
+
+// TestFailureScheduleInert: an empty failure schedule must leave the
+// campaign byte-identical to the failure-free simulator — A1–A9 run through
+// the exact same code path.
+func TestFailureScheduleInert(t *testing.T) {
+	plain, err := RunExperiment(failureCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := failureCampaign()
+	cfg.SelfHealing = true // arming recovery without a schedule changes nothing
+	armed, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Records, armed.Records) || plain.TotalS != armed.TotalS {
+		t.Fatal("SelfHealing without a schedule perturbed the campaign")
+	}
+	if len(armed.FailureLog) != 0 || armed.SolvesLost != 0 || armed.Requeued != 0 {
+		t.Fatalf("failure-free run reported failure activity: %+v", armed.FailureLog)
+	}
+}
+
+// TestFailureRequeueSpans: recovery resubmissions surface in the span trace
+// as requeue spans, the same taxonomy the live client and agents emit.
+func TestFailureRequeueSpans(t *testing.T) {
+	bus := logsvc.New(16384)
+	cfg := failureCampaign()
+	cfg.Failures = CanonicalFailureSchedule()
+	cfg.SelfHealing = true
+	cfg.Spans = bus
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requeues := 0
+	for _, ev := range bus.History() {
+		if ev.IsSpan() && ev.Kind == logsvc.KindRequeue {
+			requeues++
+		}
+	}
+	if requeues == 0 {
+		t.Fatal("no requeue spans in the healing trace")
+	}
+	if requeues < res.Requeued {
+		t.Fatalf("%d requeue spans for %d requeues — recovery happened off-trace", requeues, res.Requeued)
+	}
+}
+
+// TestRunFailureAblation is the A10 assertion: under the canonical failure
+// schedule, the self-healing hierarchy must beat the fragile one on both
+// makespan and solves lost, and its restarts must rejoin warm.
+func TestRunFailureAblation(t *testing.T) {
+	res, err := RunFailureAblation(func() ExperimentConfig {
+		return DefaultExperiment(nil)
+	}, FailureAblationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("A10: healthy %.0fs; healing %.0fs (lost %d, requeued %d); fragile %.0fs (lost %d)",
+		res.Healthy.TotalS, res.Healing.TotalS, res.Healing.SolvesLost, res.Healing.Requeued,
+		res.Fragile.TotalS, res.Fragile.SolvesLost)
+	if res.Healing.TotalS >= res.Fragile.TotalS {
+		t.Fatalf("self-healing makespan %.0fs did not beat fragile %.0fs", res.Healing.TotalS, res.Fragile.TotalS)
+	}
+	if res.MakespanGainPct() <= 0 {
+		t.Fatalf("makespan gain %.2f%% not positive", res.MakespanGainPct())
+	}
+	if res.Healing.SolvesLost != 0 {
+		t.Fatalf("self-healing lost %d solves", res.Healing.SolvesLost)
+	}
+	if res.Fragile.SolvesLost == 0 {
+		t.Fatal("fragile arm lost no solves — the schedule exercises nothing")
+	}
+	if res.SolvesSaved() <= 0 {
+		t.Fatalf("solves saved %d not positive", res.SolvesSaved())
+	}
+	// Failures must still cost the healing arm something over the healthy
+	// reference — recovery is mitigation, not magic.
+	if res.Healing.TotalS <= res.Healthy.TotalS {
+		t.Fatalf("healing arm %.0fs beat the failure-free run %.0fs", res.Healing.TotalS, res.Healthy.TotalS)
+	}
+	if warm, why := res.RestartsWarm(); !warm {
+		t.Fatalf("healed restart came back cold: %s", why)
+	}
+	// The fragile arm's restarts are cold — the contrast the snapshot
+	// restore exists for.
+	if warm, _ := (FailureAblationResult{Healing: res.Fragile}).RestartsWarm(); warm {
+		t.Fatal("fragile restarts reported warm models; they restart cold by construction")
+	}
+}
