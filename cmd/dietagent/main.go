@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +41,8 @@ func main() {
 		namingPort = flag.String("naming-listen", ":9001", "naming service listen address (with -with-naming)")
 		listen     = flag.String("listen", ":9000", "agent listen address")
 		policy     = flag.String("policy", "roundrobin", "MA scheduling policy: roundrobin, random, mct, poweraware, forecastaware, contentionaware")
+		peers      = flag.String("peers", "", "comma-separated peer Master Agent names to federate with; a Submit this MA cannot satisfy locally is forwarded to the federation (MA only)")
+		fwdHops    = flag.Int("forward-hops", diet.DefaultForwardHops, "how many MAs a federated request may traverse, counting this MA's forward as the first hop")
 		seed       = flag.Int64("seed", 1, "seed for the random policy")
 		heartbeat  = flag.Duration("heartbeat", 0, "ping children every interval, evicting dead ones; each sweep also gossips CoRI models through the hierarchy (0 = off)")
 		maxMissed  = flag.Int("max-missed", 3, "consecutive missed heartbeats before a child is evicted")
@@ -99,6 +102,18 @@ func main() {
 		HeartbeatInterval: *heartbeat, MaxMissed: *maxMissed,
 		CollectMissEvict:     *missEvict,
 		EvictConfidenceFloor: *evictConf, EvictHalfLife: *evictHL,
+		ForwardHops: *fwdHops,
+	}
+	if *peers != "" {
+		if agentKind != diet.MasterAgent {
+			log.Fatal("-peers is a Master Agent role: only MAs federate")
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+		log.Printf("federating with %v (forward budget %d hops)", cfg.Peers, *fwdHops)
 	}
 
 	var sinks logsvc.Tee

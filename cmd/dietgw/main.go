@@ -1,0 +1,77 @@
+// Command dietgw runs the client gateway in front of a (possibly federated)
+// DIET deployment: it pools sessions to the Master Agents, sticky-routes
+// each service to one MA, batches concurrent submissions of the same
+// service into one finding phase, sheds load once its bounded admission
+// queue fills, and exposes the HTTP JSON API (POST /api/v1/solve, GET
+// /api/v1/status) plus /metrics, /statusz and /debug/pprof/.
+//
+// Typical bring-up in front of a two-MA federation:
+//
+//	dietgw -naming host:9001 -mas MA1,MA2 -listen :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/gateway"
+	"repro/internal/logsvc"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	var (
+		namingAddr = flag.String("naming", "", "naming service address (host:port), required")
+		mas        = flag.String("mas", "MA1", "comma-separated Master Agent names to pool over; sticky routing hashes services onto this list, so keep its order identical across gateway replicas")
+		listen     = flag.String("listen", ":8080", "HTTP listen address for the API and observability endpoints")
+		queueCap   = flag.Int("queue-cap", 256, "admission queue bound: calls admitted (queued or running) at once; beyond it requests are shed with HTTP 503")
+		workers    = flag.Int("workers", 16, "admitted calls solved concurrently; the rest wait in the admission queue")
+		logsvcAddr = flag.String("logservice", "", "publish trace events and request spans to the LogService bus at this address")
+	)
+	flag.Parse()
+
+	if *namingAddr == "" {
+		log.Fatal("-naming is required: the gateway fronts a running deployment")
+	}
+	var maNames []string
+	for _, ma := range strings.Split(*mas, ",") {
+		if ma = strings.TrimSpace(ma); ma != "" {
+			maNames = append(maNames, ma)
+		}
+	}
+
+	cfg := gateway.Config{
+		Naming:   *namingAddr,
+		MAs:      maNames,
+		QueueCap: *queueCap,
+		Workers:  *workers,
+		Metrics:  metrics.NewRegistry(),
+	}
+	if *logsvcAddr != "" {
+		cfg.Events = &logsvc.Remote{Addr: *logsvcAddr}
+	}
+
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+
+	addr, shutdown, err := gw.Serve(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shutdown()
+	log.Printf("dietgw serving on %s: /api/v1/solve /api/v1/status /metrics /statusz (MAs %v, queue %d, workers %d)",
+		addr, maNames, *queueCap, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down dietgw")
+}

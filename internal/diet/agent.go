@@ -84,6 +84,17 @@ type AgentConfig struct {
 	// EvictHalfLife is the decay half-life registry eviction uses
 	// (default 1h, the cori default).
 	EvictHalfLife time.Duration
+	// Peers names the other Master Agents this MA federates with. Each peer
+	// is resolved through naming (lazily, retried on heartbeat sweeps) and a
+	// Submit whose local collect finds no candidate is forwarded to the
+	// federation (bounded by ForwardHops, loop-guarded by request ID), the
+	// returned estimates merged into the normal policy ranking. Only valid on
+	// a MasterAgent.
+	Peers []string
+	// ForwardHops bounds how many MAs a forwarded request may traverse,
+	// counting the origin's forward as the first hop (default
+	// DefaultForwardHops).
+	ForwardHops int
 	// Events is an optional LogService-style monitoring sink.
 	Events EventSink
 	// Metrics is an optional Prometheus registry; when set the agent counts
@@ -190,16 +201,23 @@ type Agent struct {
 	// gossip rounds and queried when a fresh SeD registers (warm start).
 	registry *cori.Registry
 
+	// peerState is the federation side: known peer MAs, their miss counts,
+	// and the forwarded-request loop guard (see federation.go).
+	peerState
+
 	stop     chan struct{}
 	stopOnce sync.Once
 
 	metrics *agentMetrics // nil unless cfg.Metrics is set
 
-	statMu   sync.Mutex
-	requests int
-	evicted  int
-	replans  int
-	migrated int
+	statMu         sync.Mutex
+	requests       int
+	evicted        int
+	replans        int
+	migrated       int
+	forwarded      int // requests this MA forwarded to peers
+	peerServed     int // forwarded requests this MA answered for peers
+	forwardDropped int // forwards rejected by the loop guard
 }
 
 // NewAgent creates an agent; call Start to expose and attach it.
@@ -215,6 +233,9 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	if cfg.ReplanInterval > 0 && (cfg.HeartbeatInterval <= 0 || cfg.Replanner == nil) {
 		return nil, fmt.Errorf("diet: agent %s: ReplanInterval rides the heartbeat sweeps — set HeartbeatInterval and a Replanner too", cfg.Name)
+	}
+	if len(cfg.Peers) > 0 && cfg.Kind != MasterAgent {
+		return nil, fmt.Errorf("diet: agent %s: only master agents federate (Peers set on a %s)", cfg.Name, cfg.Kind)
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = scheduler.NewRoundRobin()
@@ -234,6 +255,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		regSeq:      make(map[string]uint64),
 		collectMiss: make(map[string]int),
 		registry:    cori.NewRegistry(),
+		peerState:   newPeerState(),
 		stop:        make(chan struct{}),
 		metrics:     newAgentMetrics(cfg.Metrics, cfg.Name),
 	}, nil
@@ -284,6 +306,9 @@ func (a *Agent) Start() error {
 	if a.cfg.HeartbeatInterval > 0 {
 		go a.monitor()
 	}
+	// Federation is seeded asynchronously: peers that are not up yet simply
+	// fail to resolve here and are retried on every heartbeat sweep.
+	go a.peerSeed()
 	publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "start", a.addr)
 	return nil
 }
@@ -305,6 +330,9 @@ func (a *Agent) monitor() {
 			return
 		case <-ticker.C:
 			a.SweepChildren()
+			// The federation heartbeat rides the same sweep: re-announce to
+			// peers (their liveness probe) and re-resolve any still missing.
+			a.SweepPeers()
 			// Gossip rides the heartbeat: the same traffic that proves a
 			// child alive also carries its models up the hierarchy.
 			a.GossipRound()
@@ -640,6 +668,20 @@ func (a *Agent) Submit(req SubmitRequest) (*SubmitReply, error) {
 	publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "submit", req.Service)
 	t0 := time.Now()
 	ests := a.collect(CollectRequest{Service: req.Service, RequestID: req.RequestID})
+	if len(ests) == 0 && len(a.Peers()) > 0 {
+		// Local miss: ask the federation. Recording our own view of the
+		// request ID first means a forward that loops back here is dropped by
+		// the receiving guard, not re-collected.
+		a.forwardSeen(req.RequestID)
+		ests = a.forwardToPeers(PeerForwardRequest{
+			SchemaVersion: PeerSchemaVersion,
+			Service:       req.Service,
+			WorkGFlops:    req.WorkGFlops,
+			Seq:           req.Seq,
+			RequestID:     req.RequestID,
+			Hops:          a.forwardHops(),
+		})
+	}
 	if len(ests) == 0 {
 		return nil, fmt.Errorf("diet: no server can solve %q", req.Service)
 	}
@@ -765,6 +807,31 @@ func (a *Agent) handler() rpc.Handler {
 				return nil, err
 			}
 			reply, err := a.MigrateChild(req)
+			if err != nil {
+				return nil, err
+			}
+			return rpc.Encode(reply)
+		},
+		"PeerRegister": func(body []byte) ([]byte, error) {
+			var req PeerRegisterRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			if req.SchemaVersion != PeerSchemaVersion {
+				return nil, fmt.Errorf("diet: MA %s speaks peer schema v%d, got v%d",
+					a.cfg.Name, PeerSchemaVersion, req.SchemaVersion)
+			}
+			if err := a.peerRegister(req.Peer); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(PeerRegisterReply{SchemaVersion: PeerSchemaVersion, OK: true, Name: a.cfg.Name})
+		},
+		"PeerForward": func(body []byte) ([]byte, error) {
+			var req PeerForwardRequest
+			if err := rpc.Decode(body, &req); err != nil {
+				return nil, err
+			}
+			reply, err := a.peerForward(req)
 			if err != nil {
 				return nil, err
 			}

@@ -2,14 +2,18 @@ package diet
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/gwproto"
 	"repro/internal/logsvc"
 	"repro/internal/naming"
 	"repro/internal/rpc"
@@ -143,9 +147,15 @@ func (c *Client) Finalize() {}
 
 // Submit asks the Master Agent for the ranked server list for a service —
 // the "finding" phase measured in Figure 6.
+//
+// Deprecated: Submit is a thin wrapper over Call with the unexported
+// find-only option; new code should use Call directly. Kept so existing
+// callers and examples compile unchanged.
 func (c *Client) Submit(service string, workGFlops float64) (*SubmitReply, time.Duration, error) {
-	seq := int(c.seq.Add(1))
-	return c.submit(service, workGFlops, seq, c.requestID(seq))
+	var found findResult
+	p := &Profile{Service: service}
+	_, err := c.Call(p, WithWork(workGFlops), withFindOnly(&found))
+	return found.reply, found.finding, err
 }
 
 func (c *Client) submit(service string, workGFlops float64, seq int, requestID string) (*SubmitReply, time.Duration, error) {
@@ -165,8 +175,20 @@ func (c *Client) submit(service string, workGFlops float64, seq int, requestID s
 // CallOption tweaks a Call.
 type CallOption func(*callOptions)
 
+// findResult receives the finding-phase outcome of a find-only Call (the
+// Submit shim's out-parameters).
+type findResult struct {
+	reply   *SubmitReply
+	finding time.Duration
+}
+
 type callOptions struct {
 	workGFlops float64
+	async      **AsyncCall
+	gateway    string
+	servers    *SubmitReply
+	rotate     int
+	findOnly   *findResult
 }
 
 // WithWork passes a work estimate (GFlops) to the scheduler, used by the
@@ -175,30 +197,98 @@ func WithWork(gflops float64) CallOption {
 	return func(o *callOptions) { o.workGFlops = gflops }
 }
 
-// Call performs a complete synchronous GridRPC call: find a server through
-// the MA, ship the profile to the chosen SeD, execute, and bring the
-// INOUT/OUT arguments back into p. On failure of the best server it falls
-// over to the next servers in the ranked list.
+// WithAsync makes Call return immediately with (nil, nil) and deliver the
+// outcome through the handle stored in *h — the one code path behind the
+// deprecated CallAsync. The profile must not be touched until Wait returns.
+func WithAsync(h **AsyncCall) CallOption {
+	return func(o *callOptions) { o.async = h }
+}
+
+// WithGateway routes the call through a gateway's HTTP JSON API (POST
+// baseURL/api/v1/solve) instead of submitting to this client's Master Agent
+// directly: the gateway does the finding phase (pooled, sticky-routed,
+// batched, admission-controlled) and the solve, and ships the solved
+// arguments back. An admission-control shed surfaces as gwproto.ErrOverload.
+func WithGateway(baseURL string) CallOption {
+	return func(o *callOptions) { o.gateway = strings.TrimRight(baseURL, "/") }
+}
+
+// WithServers skips the finding phase and reuses an already-ranked server
+// list, starting the failover walk rotate positions in (wrapping). The
+// gateway's submission batching uses it: one batch leader pays the MA round
+// trip, the followers ride its reply with rotated starting servers so a
+// batch does not pile onto one SeD.
+func WithServers(reply *SubmitReply, rotate int) CallOption {
+	return func(o *callOptions) { o.servers, o.rotate = reply, rotate }
+}
+
+// withFindOnly stops the call after the finding phase, recording the ranked
+// reply into res — the Submit shim. Unexported: find-only is not a shape new
+// code should reach for.
+func withFindOnly(res *findResult) CallOption {
+	return func(o *callOptions) { o.findOnly = res }
+}
+
+// Call performs a complete GridRPC call: find a server through the MA, ship
+// the profile to the chosen SeD, execute, and bring the INOUT/OUT arguments
+// back into p. On failure of the best server it falls over to the next
+// servers in the ranked list. Options select the variants — WithAsync for a
+// background call (outcome on the handle), WithGateway to route through a
+// gateway, WithWork to hint the scheduler — all sharing this one retry and
+// trace path.
 func (c *Client) Call(p *Profile, opts ...CallOption) (*CallInfo, error) {
 	var o callOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.async != nil {
+		a := &AsyncCall{done: make(chan struct{})}
+		*o.async = a
+		inner := o
+		inner.async = nil
+		go func() {
+			defer close(a.done)
+			a.info, a.err = c.call(p, inner)
+		}()
+		return nil, nil
+	}
+	return c.call(p, o)
+}
+
+// call is the single synchronous code path behind every submission variant.
+func (c *Client) call(p *Profile, o callOptions) (*CallInfo, error) {
 	// The work hint rides the profile to the SeD for the CoRI monitor. Set
 	// unconditionally: a call without WithWork must ship 0 (unknown), not a
 	// stale hint from an earlier call reusing this profile, or the monitor
 	// would pair this solve's duration with the wrong work size.
 	p.WorkGFlops = o.workGFlops
+	if o.gateway != "" {
+		return c.callGateway(p, o)
+	}
 	seq := int(c.seq.Add(1))
 	requestID := c.requestID(seq)
 	p.RequestID = requestID
 	t0 := time.Now()
-	reply, finding, err := c.submit(p.Service, o.workGFlops, seq, requestID)
-	if err != nil {
-		return nil, fmt.Errorf("diet: submission of %q failed: %w", p.Service, err)
+	reply := o.servers
+	var finding time.Duration
+	if reply == nil {
+		var err error
+		reply, finding, err = c.submit(p.Service, o.workGFlops, seq, requestID)
+		if err != nil {
+			return nil, fmt.Errorf("diet: submission of %q failed: %w", p.Service, err)
+		}
+	}
+	if o.findOnly != nil {
+		o.findOnly.reply, o.findOnly.finding = reply, finding
+		return nil, nil
+	}
+	n := len(reply.Servers)
+	if n == 0 {
+		return nil, fmt.Errorf("diet: no servers offered for %q", p.Service)
 	}
 	var lastErr error
-	for i, srv := range reply.Servers {
+	for i := 0; i < n; i++ {
+		srv := reply.Servers[(i+o.rotate)%n]
 		attempt := time.Now()
 		var solved SolveReply
 		err := rpc.Call(srv.Addr, "sed:"+srv.Name, "Solve", p, &solved)
@@ -207,9 +297,10 @@ func (c *Client) Call(p *Profile, opts ...CallOption) (*CallInfo, error) {
 			// The kill-and-requeue of the live stack: the request's work on
 			// the lost server is abandoned and resubmitted to the next ranked
 			// server; the requeue span brackets the failed attempt.
-			if i+1 < len(reply.Servers) {
+			if i+1 < n {
+				next := reply.Servers[(i+1+o.rotate)%n]
 				publishSpan(c.cfg.Events, span(requestID, "client:"+c.id, logsvc.KindRequeue,
-					p.Service, fmt.Sprintf("%s failed, retrying on %s", srv.Name, reply.Servers[i+1].Name),
+					p.Service, fmt.Sprintf("%s failed, retrying on %s", srv.Name, next.Name),
 					attempt, time.Now()))
 			}
 			continue // fault tolerance: try the next ranked server
@@ -236,7 +327,66 @@ func (c *Client) Call(p *Profile, opts ...CallOption) (*CallInfo, error) {
 		c.mu.Unlock()
 		return &info, nil
 	}
-	return nil, fmt.Errorf("diet: all %d servers failed for %q: %w", len(reply.Servers), p.Service, lastErr)
+	return nil, fmt.Errorf("diet: all %d servers failed for %q: %w", n, p.Service, lastErr)
+}
+
+// callGateway is the WithGateway leg of the single call path: ship the
+// profile to a gateway as JSON, let it find and solve, decode the solved
+// arguments back into p.
+func (c *Client) callGateway(p *Profile, o callOptions) (*CallInfo, error) {
+	req, err := p.WireRequest()
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	seq := int(c.seq.Add(1))
+	t0 := time.Now()
+	resp, err := http.Post(o.gateway+"/api/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("diet: gateway call for %q failed: %w", p.Service, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eRep gwproto.ErrorReply
+		if err := json.NewDecoder(resp.Body).Decode(&eRep); err == nil && eRep.Error != "" {
+			if eRep.Overloaded {
+				return nil, fmt.Errorf("diet: gateway shed %q: %w", p.Service, gwproto.ErrOverload)
+			}
+			return nil, fmt.Errorf("diet: gateway rejected %q: %s", p.Service, eRep.Error)
+		}
+		return nil, fmt.Errorf("diet: gateway rejected %q: HTTP %d", p.Service, resp.StatusCode)
+	}
+	var rep gwproto.SolveReply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("diet: decoding gateway reply for %q: %w", p.Service, err)
+	}
+	if rep.SchemaVersion != gwproto.Version {
+		return nil, fmt.Errorf("diet: gateway speaks schema v%d, client v%d", rep.SchemaVersion, gwproto.Version)
+	}
+	if err := p.ApplyWireArgs(rep.Args); err != nil {
+		return nil, err
+	}
+	p.RequestID = rep.RequestID
+	total := time.Since(t0)
+	finding := time.Duration(rep.Timing.FindingMS * float64(time.Millisecond))
+	compute := time.Duration(rep.Timing.ComputeMS * float64(time.Millisecond))
+	info := CallInfo{
+		Seq:       seq,
+		RequestID: rep.RequestID,
+		Server:    rep.Server,
+		Finding:   finding,
+		QueueWait: time.Duration(rep.Timing.QueueMS * float64(time.Millisecond)),
+		Compute:   compute,
+		Latency:   total - finding - compute,
+		Total:     total,
+	}
+	c.mu.Lock()
+	c.calls = append(c.calls, info)
+	c.mu.Unlock()
+	return &info, nil
 }
 
 // AsyncCall is a handle on an in-flight asynchronous call.
@@ -254,12 +404,12 @@ func (a *AsyncCall) Wait() (*CallInfo, error) {
 
 // CallAsync launches Call in the background, the diet_call_async of the C
 // API. The profile must not be touched until Wait returns.
+//
+// Deprecated: CallAsync is a thin wrapper over Call with WithAsync; new
+// code should use that option directly.
 func (c *Client) CallAsync(p *Profile, opts ...CallOption) *AsyncCall {
-	a := &AsyncCall{done: make(chan struct{})}
-	go func() {
-		defer close(a.done)
-		a.info, a.err = c.Call(p, opts...)
-	}()
+	var a *AsyncCall
+	c.Call(p, append(append([]CallOption(nil), opts...), WithAsync(&a))...)
 	return a
 }
 

@@ -126,6 +126,8 @@ type agentMetrics struct {
 	collectEvictions metrics.CounterVec
 	replans          metrics.CounterVec
 	migrations       metrics.CounterVec
+	peerForwards     metrics.CounterVec
+	peerForwardDrops metrics.CounterVec
 }
 
 func newAgentMetrics(reg *metrics.Registry, agent string) *agentMetrics {
@@ -150,5 +152,9 @@ func newAgentMetrics(reg *metrics.Registry, agent string) *agentMetrics {
 			"replanning passes applied to the live hierarchy", "agent"),
 		migrations: reg.NewCounter("diet_agent_migrations_total",
 			"SeD children migrated by replanning", "agent"),
+		peerForwards: reg.NewCounter("diet_agent_peer_forwards_total",
+			"locally unsatisfiable requests forwarded to federated peer MAs", "agent"),
+		peerForwardDrops: reg.NewCounter("diet_agent_peer_forward_drops_total",
+			"forwarded requests dropped by the federation loop guard", "agent"),
 	}
 }

@@ -1,0 +1,74 @@
+package simgrid
+
+import "fmt"
+
+// This file runs the federation ablation (A12; A11 stays reserved for
+// workflow campaigns): everything the repo built so far funnels every
+// submission through one Master Agent — the exact bottleneck the DIET
+// papers built the multi-MA mesh to avoid. A12 prices the mesh: the same
+// open-loop request stream, arriving faster than one MA can serialize
+// finding phases but within the federation's capacity, replayed against a
+// single MA and against N federated MAs with sticky routing and peer
+// forwarding. The single arm saturates — its queue grows for the whole run
+// and p99 submit latency is dominated by queueing — while the federation
+// keeps up, paying only the forwarding overhead on foreign services.
+
+// FederationAblationConfig tunes the A12 arms.
+type FederationAblationConfig struct {
+	// MAs is the federated arm's width (default 4).
+	MAs int
+	// Base is the shared stream template; its MAs field is overridden per
+	// arm, everything else (rate, costs, service mix) is common to both.
+	Base FederationConfig
+}
+
+// FederationAblationResult compares the two arms of the same stream.
+type FederationAblationResult struct {
+	Config    FederationAblationConfig
+	Single    *FederationResult // 1 MA
+	Federated *FederationResult // Config.MAs federated MAs
+}
+
+// ThroughputGainX is the saturation-throughput multiple of federating:
+// federated completed findings per second over the single MA's.
+func (r *FederationAblationResult) ThroughputGainX() float64 {
+	if s := r.Single.ThroughputPerSec(); s > 0 {
+		return r.Federated.ThroughputPerSec() / s
+	}
+	return 0
+}
+
+// P99GainX is how many times higher the single MA's p99 submit latency is
+// than the federation's.
+func (r *FederationAblationResult) P99GainX() float64 {
+	if f := r.Federated.P99LatencyS(); f > 0 {
+		return r.Single.P99LatencyS() / f
+	}
+	return 0
+}
+
+// RunFederationAblation runs A12: the same submission stream against one MA
+// and against cfg.MAs federated MAs.
+func RunFederationAblation(cfg FederationAblationConfig) (*FederationAblationResult, error) {
+	if cfg.MAs <= 0 {
+		cfg.MAs = 4
+	}
+	if cfg.MAs < 2 {
+		return nil, fmt.Errorf("simgrid: federation ablation needs a federated arm of >= 2 MAs")
+	}
+	out := &FederationAblationResult{Config: cfg}
+	var err error
+
+	single := cfg.Base
+	single.MAs = 1
+	if out.Single, err = RunFederation(single); err != nil {
+		return nil, fmt.Errorf("simgrid: federation ablation single arm: %w", err)
+	}
+
+	fed := cfg.Base
+	fed.MAs = cfg.MAs
+	if out.Federated, err = RunFederation(fed); err != nil {
+		return nil, fmt.Errorf("simgrid: federation ablation federated arm: %w", err)
+	}
+	return out, nil
+}
