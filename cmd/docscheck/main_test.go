@@ -191,3 +191,28 @@ func TestCheckAblationIndexOrdersNumerically(t *testing.T) {
 		t.Fatalf("want A2 then A10, got %v", problems)
 	}
 }
+
+func TestCheckAblationIndexCoversWorkflowAblation(t *testing.T) {
+	// The A11 marker in the workflow ablation must demand its README row
+	// like every other ablation, and be satisfied once the row exists.
+	files := map[string]string{
+		"README.md": "| Ablation | Question |\n|---|---|\n| A10 | indexed |\n",
+		"internal/simgrid/workflowablation.go": "package simgrid\n\n" +
+			"// This file runs the workflow ablation (A11): campaign DAGs.\n",
+	}
+	problems, err := CheckAblationIndex(writeTree(t, files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "no | A11 | row") {
+		t.Fatalf("unindexed A11 must be reported, got %v", problems)
+	}
+	files["README.md"] += "| A11 | workflow campaigns |\n"
+	problems, err = CheckAblationIndex(writeTree(t, files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("indexed A11 must satisfy the check, got %v", problems)
+	}
+}

@@ -12,6 +12,7 @@
 //	experiment -deploy-ablation          # A6: measured-power planning + forecast-sized reservations
 //	experiment -warmstart-ablation       # A7: cold vs warm-started SeD join (cluster model gossip)
 //	experiment -failure-ablation         # A10: chaos schedule, self-healing vs fragile hierarchy
+//	experiment -workflow-ablation        # A11: zoom-campaign DAGs, topo round-robin vs forecast critical-path
 //	experiment -federation-ablation      # A12: 1 MA vs N federated MAs under a saturating stream
 package main
 
@@ -52,13 +53,16 @@ func main() {
 		bfNodes    = flag.Int("backfill-nodes", 0, "virtual cluster size for the backfill ablation (0 = the A9 default, 8)")
 		flAblation = flag.Bool("failure-ablation", false, "run the failure ablation (A10): the canonical chaos schedule with self-healing armed vs a fragile hierarchy, against a zero-failure reference")
 		flDetect   = flag.Float64("failure-detect", 0, "failure-ablation detection delay, seconds (0 = the default, 90 — three missed heartbeats)")
+		wfAblation = flag.Bool("workflow-ablation", false, "run the workflow ablation (A11): zoom campaigns as Figure 4 DAGs, topo-order round-robin vs forecast-critical-path scheduling, honest and under CanonicalSkew")
+		wfRuns     = flag.Int("workflow-campaigns", 0, "back-to-back campaigns per workflow-ablation arm (0 = the A11 default, 5; early ones train the models)")
+		wfParallel = flag.Int("workflow-parallel", 0, "in-flight node cap per workflow campaign (0 = the A11 default, 3)")
 		fedAblate  = flag.Bool("federation-ablation", false, "run the federation ablation (A12): the same saturating submission stream against one MA vs N federated MAs with sticky routing and peer forwarding")
 		fedMAs     = flag.Int("federation-mas", 0, "federated arm width for the federation ablation (0 = the A12 default, 4)")
 		fedRate    = flag.Float64("federation-rate", 0, "open-loop arrival rate of the federation ablation stream, requests/s (0 = the default, 100)")
 		rounds     = flag.Int("rounds", 2, "campaigns per trained arm in the ablations (rounds-1 train, the last measures)")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation && !*rpAblation && !*bfAblation && !*flAblation && !*fedAblate {
+	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation && !*rpAblation && !*bfAblation && !*flAblation && !*wfAblation && !*fedAblate {
 		*all = true
 	}
 
@@ -313,6 +317,21 @@ func main() {
 		for _, e := range res.Healing.FailureLog {
 			fmt.Printf("  %8s  %-10s %-12s %s\n", simgrid.Hours(e.AtS), e.Node, e.Kind, e.Detail)
 		}
+		return
+	}
+
+	if *wfAblation {
+		fmt.Println("Ablation A11 — zoom campaigns as workflow DAGs: topo round-robin vs forecast critical-path:")
+		res, err := simgrid.RunWorkflowAblation(simgrid.WorkflowAblationConfig{
+			Campaigns:   *wfRuns,
+			MaxParallel: *wfParallel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Print(os.Stdout)
+		fmt.Printf("  → pricing stages from measured models saves %.1f%% of the trained campaign under CanonicalSkew\n",
+			res.SkewGainPct())
 		return
 	}
 

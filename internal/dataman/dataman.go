@@ -124,6 +124,14 @@ func (s *Store) Handler() rpc.Handler {
 			}
 			return rpc.Encode(true)
 		},
+		"Delete": func(body []byte) ([]byte, error) {
+			var id string
+			if err := rpc.Decode(body, &id); err != nil {
+				return nil, err
+			}
+			s.Delete(id)
+			return rpc.Encode(true)
+		},
 		"IDs": func([]byte) ([]byte, error) {
 			return rpc.Encode(s.IDs())
 		},
@@ -189,6 +197,27 @@ func (c *Catalog) Publish(id, node string, mode Mode) error {
 	return nil
 }
 
+// Unpublish removes node's replica record of id (the catalog side of
+// diet_free_persistent_data). When the last replica goes, the datum's mode is
+// forgotten so the ID can be republished afresh.
+func (c *Catalog) Unpublish(id, node string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nodes := c.replicas[id]
+	for i, n := range nodes {
+		if n != node {
+			continue
+		}
+		c.replicas[id] = append(nodes[:i:i], nodes[i+1:]...)
+		if len(c.replicas[id]) == 0 {
+			delete(c.replicas, id)
+			delete(c.modes, id)
+		}
+		return nil
+	}
+	return fmt.Errorf("dataman: %q has no replica on %s", id, node)
+}
+
 // Locate returns the nodes holding id, primary first.
 func (c *Catalog) Locate(id string) ([]string, Mode, error) {
 	c.mu.RLock()
@@ -250,7 +279,16 @@ func (c *Catalog) Replicate(id, toNode string) error {
 	if err := rpc.Call(dstAddr, ObjectName, "Put", it, &accepted); err != nil {
 		return fmt.Errorf("dataman: replicating %q to %s: %w", id, toNode, err)
 	}
-	return c.Publish(id, toNode, mode)
+	if err := c.Publish(id, toNode, mode); err != nil {
+		// The bytes landed but the catalog refused the record (the datum was
+		// unpublished and repinned while the copy was in flight): delete the
+		// orphan so store and catalog stay consistent. Best-effort — an
+		// unreachable store keeps unreachable bytes, nothing worse.
+		var deleted bool
+		_ = rpc.Call(dstAddr, ObjectName, "Delete", id, &deleted)
+		return fmt.Errorf("dataman: publishing replica of %q on %s: %w", id, toNode, err)
+	}
+	return nil
 }
 
 // ReplicaCount returns the number of nodes holding id (0 if unpublished).

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/rpc"
@@ -150,5 +151,110 @@ func TestFetchFallsOverDeadReplica(t *testing.T) {
 	it, err := cat.Fetch("r")
 	if err != nil || string(it.Data) != "v" {
 		t.Fatalf("fetch should fall over to node1: %+v, %v", it, err)
+	}
+}
+
+// TestReplicatePublishFailureDeletesOrphan reproduces the mid-flight race
+// Replicate must survive: while the copy is in transit, the datum is
+// unpublished everywhere and repinned sticky on another node, so the final
+// Publish is refused. The destination store must not keep the orphan bytes.
+func TestReplicatePublishFailureDeletesOrphan(t *testing.T) {
+	cat, stores := cluster(t, 2)
+	if err := stores[0].Put("dat", Persistent, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Publish("dat", "node0", Persistent); err != nil {
+		t.Fatal(err)
+	}
+
+	// The destination delegates to a real store, but its Put mutates the
+	// catalog before Replicate can publish — the repin landing mid-copy.
+	evil := NewStore("evil")
+	base := evil.Handler()
+	srv := rpc.NewServer()
+	srv.Register(ObjectName, func(method string, body []byte) ([]byte, error) {
+		out, err := base(method, body)
+		if method == "Put" && err == nil {
+			if err := cat.Unpublish("dat", "node0"); err != nil {
+				t.Error(err)
+			}
+			if err := cat.Publish("dat", "node1", Sticky); err != nil {
+				t.Error(err)
+			}
+		}
+		return out, err
+	})
+	addr, err := rpc.ServeLocal("dataman-evil", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddNode("evil", addr); err != nil {
+		t.Fatal(err)
+	}
+
+	err = cat.Replicate("dat", "evil")
+	if err == nil || !strings.Contains(err.Error(), "publishing replica") {
+		t.Fatalf("Replicate = %v, want publish refusal", err)
+	}
+	if _, err := evil.Get("dat"); err == nil {
+		t.Fatal("orphan replica left on the destination store after the failed publish")
+	}
+	nodes, mode, err := cat.Locate("dat")
+	if err != nil || mode != Sticky || len(nodes) != 1 || nodes[0] != "node1" {
+		t.Fatalf("catalog after the race: nodes=%v mode=%v err=%v", nodes, mode, err)
+	}
+}
+
+// TestReplicateConsistencyUnderRace hammers concurrent Replicate, Unpublish
+// and Fetch on one datum; run under -race. The invariant: every replica the
+// catalog advertises is actually fetchable from its store.
+func TestReplicateConsistencyUnderRace(t *testing.T) {
+	cat, stores := cluster(t, 3)
+	if err := stores[0].Put("dat", Persistent, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Publish("dat", "node0", Persistent); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for _, target := range []string{"node1", "node2"} {
+		target := target
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_ = cat.Replicate("dat", target) // may race an Unpublish; must stay consistent
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			_ = cat.Unpublish("dat", "node1")
+			_ = cat.Unpublish("dat", "node2")
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			if it, err := cat.Fetch("dat"); err == nil && string(it.Data) != "payload" {
+				t.Errorf("fetched corrupt replica: %q", it.Data)
+			}
+		}
+	}()
+	wg.Wait()
+
+	byName := map[string]*Store{"node0": stores[0], "node1": stores[1], "node2": stores[2]}
+	nodes, _, err := cat.Locate("dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if it, err := byName[n].Get("dat"); err != nil || string(it.Data) != "payload" {
+			t.Fatalf("catalog advertises %s but its store says: %+v, %v", n, it, err)
+		}
 	}
 }

@@ -145,17 +145,27 @@ func InitializeConfig(cfg ClientConfig) (*Client, error) {
 // data the application still holds; it only drops the platform handle.
 func (c *Client) Finalize() {}
 
-// Submit asks the Master Agent for the ranked server list for a service —
-// the "finding" phase measured in Figure 6.
-//
-// Deprecated: Submit is a thin wrapper over Call with the unexported
-// find-only option; new code should use Call directly. Kept so existing
-// callers and examples compile unchanged.
-func (c *Client) Submit(service string, workGFlops float64) (*SubmitReply, time.Duration, error) {
+// FindServers asks the Master Agent for the ranked server list and estimate
+// vectors for a service without dispatching a solve — the "finding" phase of
+// Figure 6 on its own. The workflow runner prices DAG nodes from the
+// returned estimates (each carries the SeD's CoRI forecast extension)
+// before launching any solve.
+func (c *Client) FindServers(service string, workGFlops float64) (*SubmitReply, time.Duration, error) {
 	var found findResult
 	p := &Profile{Service: service}
-	_, err := c.Call(p, WithWork(workGFlops), withFindOnly(&found))
-	return found.reply, found.finding, err
+	if _, err := c.Call(p, WithWork(workGFlops), withFindOnly(&found)); err != nil {
+		return nil, 0, err
+	}
+	return found.reply, found.finding, nil
+}
+
+// Submit asks the Master Agent for the ranked server list for a service.
+//
+// Deprecated: Submit is the historical name of FindServers; new code should
+// use FindServers (or Call directly). Kept so existing callers and examples
+// compile unchanged.
+func (c *Client) Submit(service string, workGFlops float64) (*SubmitReply, time.Duration, error) {
+	return c.FindServers(service, workGFlops)
 }
 
 func (c *Client) submit(service string, workGFlops float64, seq int, requestID string) (*SubmitReply, time.Duration, error) {

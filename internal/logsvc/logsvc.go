@@ -33,6 +33,7 @@ const (
 	KindRequeue  = "requeue"      // recovery: work resubmitted after a node loss or failed attempt
 	KindSolve    = "solve"        // SeD: the compute body
 	KindComplete = "complete"     // client: the whole call, submission to reply
+	KindWorkflow = "workflow"     // runner: one DAG node (or the whole campaign), ready to done
 )
 
 // Event is one trace record. Plain events carry only the first five fields;

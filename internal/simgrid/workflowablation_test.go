@@ -1,0 +1,45 @@
+package simgrid
+
+import "testing"
+
+// TestRunWorkflowAblation is the A11 assertion: on the CanonicalSkew
+// miscalibration the forecast-critical-path engine — pricing stages from the
+// trained CoRI models — finishes the trained campaign faster than topo-order
+// round-robin, and its placements actually use the models.
+func TestRunWorkflowAblation(t *testing.T) {
+	res, err := RunWorkflowAblation(WorkflowAblationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, arm := range map[string]*WorkflowArmResult{
+		"TopoRR": res.TopoRR, "ForecastCP": res.ForecastCP,
+		"SkewTopoRR": res.SkewTopoRR, "SkewForecastCP": res.SkewForecastCP,
+	} {
+		if len(arm.CampaignMakespanS) != 5 {
+			t.Fatalf("%s ran %d campaigns, want 5", name, len(arm.CampaignMakespanS))
+		}
+		for i, m := range arm.CampaignMakespanS {
+			if m <= 0 {
+				t.Fatalf("%s campaign %d makespan %.2f", name, i, m)
+			}
+		}
+	}
+	if res.TopoRR.ForecastPriced != 0 {
+		t.Fatalf("static engine used %d model pricings, want 0", res.TopoRR.ForecastPriced)
+	}
+	if res.SkewForecastCP.ForecastPriced == 0 {
+		t.Fatal("trained forecast engine never placed a node from a model")
+	}
+	if gain := res.GainPct(); gain <= 0 {
+		t.Fatalf("forecast-critical-path loses to topo round-robin on the honest platform: gain %.1f%%", gain)
+	}
+	if gain := res.SkewGainPct(); gain <= 0 {
+		t.Fatalf("forecast-critical-path loses to topo round-robin under CanonicalSkew: gain %.1f%%", gain)
+	}
+	// Miscalibration must not erase the trained engine's edge: the measured
+	// models keep the long RAMSES/HaloMaker stages off the degraded nodes.
+	if res.SkewForecastCP.TrainedMakespanS() >= res.SkewTopoRR.TrainedMakespanS() {
+		t.Fatalf("trained skew makespan %.0fs not below static %.0fs",
+			res.SkewForecastCP.TrainedMakespanS(), res.SkewTopoRR.TrainedMakespanS())
+	}
+}

@@ -38,7 +38,11 @@ func RamsesZoomDocument(nLevels, nSnapshots int) *Document {
 	add("ramses3d", "ramses3d", "mpi_setup")
 	add("mpi_stop", "stopMPI", "ramses3d")
 
+	// TreeMaker consumes every HaloMaker output; with no snapshots to
+	// post-process it must still wait for the MPI run to stop, or the
+	// post-processing chain would start before RAMSES finishes.
 	haloDeps := "mpi_stop"
+	treeDeps := "mpi_stop"
 	var haloIDs string
 	for s := 1; s <= nSnapshots; s++ {
 		id := fmt.Sprintf("halomaker_s%d", s)
@@ -48,8 +52,33 @@ func RamsesZoomDocument(nLevels, nSnapshots int) *Document {
 		}
 		haloIDs += id
 	}
-	add("treemaker", "treeMaker", haloIDs)
+	if haloIDs != "" {
+		treeDeps = haloIDs
+	}
+	add("treemaker", "treeMaker", treeDeps)
 	add("galaxymaker", "galaxyMaker", "treemaker")
 	add("send_results", "sendResults", "galaxymaker")
 	return doc
+}
+
+// RamsesStageWork maps every Figure 4 service to a canonical work estimate
+// in GFlops — the per-node WithWork hints a campaign hands the scheduler.
+// The stages are deliberately heterogeneous, like the paper's pipeline: the
+// MPI RAMSES run dwarfs everything, the per-snapshot HaloMaker passes are
+// mid-weight and embarrassingly parallel, and the bookkeeping stages are
+// almost free. Campaigns may scale or override individual entries.
+func RamsesStageWork() map[string]float64 {
+	return map[string]float64{
+		"retrieveParameters": 50,
+		"grafic1":            1200,
+		"rollWhiteNoise":     400,
+		"grafic2":            2500,
+		"setupMPI":           100,
+		"ramses3d":           240000,
+		"stopMPI":            100,
+		"haloMaker":          18000,
+		"treeMaker":          9000,
+		"galaxyMaker":        7000,
+		"sendResults":        300,
+	}
 }

@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/cori"
 )
 
 // Document is the XML representation of a workflow.
@@ -99,6 +101,8 @@ func New(name string) *DAG {
 func (d *DAG) Name() string { return d.name }
 
 // Add inserts a node with its dependencies and (optionally nil) action.
+// Duplicate ids in deps collapse to one edge, so a sloppy document cannot
+// skew the readiness counting or the priority weights.
 func (d *DAG) Add(id, service string, deps []string, action Action) error {
 	if id == "" {
 		return fmt.Errorf("workflow: node needs an id")
@@ -106,9 +110,17 @@ func (d *DAG) Add(id, service string, deps []string, action Action) error {
 	if _, dup := d.tasks[id]; dup {
 		return fmt.Errorf("workflow: duplicate node id %q", id)
 	}
+	var uniq []string
+	seen := make(map[string]bool, len(deps))
+	for _, dep := range deps {
+		if !seen[dep] {
+			seen[dep] = true
+			uniq = append(uniq, dep)
+		}
+	}
 	d.tasks[id] = &task{
-		def:    NodeDef{ID: id, Service: service, Depends: strings.Join(deps, " ")},
-		deps:   append([]string(nil), deps...),
+		def:    NodeDef{ID: id, Service: service, Depends: strings.Join(uniq, " ")},
+		deps:   uniq,
 		action: action,
 	}
 	d.order = append(d.order, id)
@@ -141,6 +153,18 @@ func FromDocument(doc *Document) (*DAG, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// cloneShallow copies the DAG's structure (shared dependency slices, copied
+// task records) so a runner can bind and instrument actions per run without
+// mutating the caller's graph.
+func (d *DAG) cloneShallow() *DAG {
+	c := &DAG{name: d.name, tasks: make(map[string]*task, len(d.tasks)), order: append([]string(nil), d.order...)}
+	for id, t := range d.tasks {
+		tc := *t
+		c.tasks[id] = &tc
+	}
+	return c
 }
 
 // Document renders the DAG back to its XML form.
@@ -224,6 +248,29 @@ type Report struct {
 // If a node fails, its transitive dependents are skipped but independent
 // branches still complete.
 func (d *DAG) Execute(maxParallel int) *Report {
+	return d.ExecutePrioritized(maxParallel, nil)
+}
+
+// runAction invokes one node's action, converting a panic into an ordinary
+// node error. A panicking action must fail its node — and skip the node's
+// dependents — without taking the whole process down, which matters once
+// actions wrap remote solves whose decode paths are not under our control.
+func runAction(a Action, ctx *TaskContext) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("workflow: node %q panicked: %v", ctx.ID, r)
+		}
+	}()
+	return a(ctx)
+}
+
+// ExecutePrioritized runs the DAG like Execute but, when more nodes are
+// ready than maxParallel allows, launches them in decreasing priority order
+// (ties and missing entries fall back to topological order). Feeding it the
+// forecast-weighted downstream-chain lengths of CriticalPathSeconds gives
+// critical-path-first scheduling: the longest predicted chain advances as
+// soon as it can while off-critical branches fill the remaining slots.
+func (d *DAG) ExecutePrioritized(maxParallel int, priority map[string]float64) *Report {
 	order, err := d.TopoOrder()
 	if err != nil {
 		return &Report{Err: err, Results: map[string]Result{}}
@@ -233,6 +280,10 @@ func (d *DAG) Execute(maxParallel int) *Report {
 			return &Report{Err: fmt.Errorf("workflow: node %q has no action bound", id), Results: map[string]Result{}}
 		}
 	}
+	topoIdx := make(map[string]int, len(order))
+	for i, id := range order {
+		topoIdx[id] = i
+	}
 
 	var (
 		mu      sync.Mutex
@@ -240,12 +291,10 @@ func (d *DAG) Execute(maxParallel int) *Report {
 		outputs = make(map[string]any)
 		remain  = make(map[string]int, len(order))
 		deps    = make(map[string][]string)
+		ready   []string // ids whose dependencies completed, not yet launched
+		running int
 		wg      sync.WaitGroup
 	)
-	var sem chan struct{}
-	if maxParallel > 0 {
-		sem = make(chan struct{}, maxParallel)
-	}
 	for id, t := range d.tasks {
 		remain[id] = len(t.deps)
 		for _, dep := range t.deps {
@@ -253,76 +302,84 @@ func (d *DAG) Execute(maxParallel int) *Report {
 		}
 	}
 
-	var launch func(id string)
-	var finish func(id string, res Result)
+	// better reports whether a should launch before b.
+	better := func(a, b string) bool {
+		pa, pb := priority[a], priority[b]
+		if pa != pb {
+			return pa > pb
+		}
+		return topoIdx[a] < topoIdx[b]
+	}
 
-	launch = func(id string) {
+	var dispatch func() // called with mu held
+
+	launch := func(id string) { // called with mu held
 		t := d.tasks[id]
+		running++
+		ctx := &TaskContext{ID: id, Service: t.def.Service, dag: d, deps: make(map[string]any, len(t.deps))}
+		for _, dep := range t.deps {
+			ctx.deps[dep] = outputs[dep]
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if sem != nil {
-				sem <- struct{}{}
-				defer func() { <-sem }()
-			}
-			mu.Lock()
-			ctx := &TaskContext{ID: id, Service: t.def.Service, dag: d, deps: make(map[string]any, len(t.deps))}
-			for _, dep := range t.deps {
-				ctx.deps[dep] = outputs[dep]
-			}
-			mu.Unlock()
 			res := Result{ID: id, Start: time.Now()}
-			res.Err = t.action(ctx)
+			res.Err = runAction(t.action, ctx)
 			res.End = time.Now()
-			if res.Err == nil {
-				mu.Lock()
+
+			mu.Lock()
+			defer mu.Unlock()
+			running--
+			results[id] = res
+			if res.Err != nil {
+				var skip func(string)
+				skip = func(id string) {
+					for _, dep := range deps[id] {
+						if _, done := results[dep]; done {
+							continue
+						}
+						results[dep] = Result{ID: dep, Skipped: true}
+						skip(dep)
+					}
+				}
+				skip(id)
+			} else {
 				outputs[id] = ctx.out
-				mu.Unlock()
+				for _, dep := range deps[id] {
+					if _, skipped := results[dep]; skipped {
+						continue
+					}
+					remain[dep]--
+					if remain[dep] == 0 {
+						ready = append(ready, dep)
+					}
+				}
 			}
-			finish(id, res)
+			dispatch()
 		}()
 	}
 
-	var skipDependents func(id string)
-	skipDependents = func(id string) {
-		for _, dep := range deps[id] {
-			if _, done := results[dep]; done {
-				continue
-			}
-			results[dep] = Result{ID: dep, Skipped: true}
-			skipDependents(dep)
-		}
-	}
-
-	finish = func(id string, res Result) {
-		mu.Lock()
-		results[id] = res
-		if res.Err != nil {
-			skipDependents(id)
-		} else {
-			for _, dep := range deps[id] {
-				if _, skipped := results[dep]; skipped {
-					continue
-				}
-				remain[dep]--
-				if remain[dep] == 0 {
-					launch(dep)
+	dispatch = func() {
+		for len(ready) > 0 && (maxParallel <= 0 || running < maxParallel) {
+			best := 0
+			for i := 1; i < len(ready); i++ {
+				if better(ready[i], ready[best]) {
+					best = i
 				}
 			}
+			id := ready[best]
+			ready = append(ready[:best], ready[best+1:]...)
+			launch(id)
 		}
-		mu.Unlock()
 	}
 
 	mu.Lock()
-	var roots []string
 	for _, id := range order {
 		if remain[id] == 0 {
-			roots = append(roots, id)
+			ready = append(ready, id)
 		}
 	}
-	for _, id := range roots {
-		launch(id)
-	}
+	dispatch()
 	mu.Unlock()
 	wg.Wait()
 
@@ -334,6 +391,25 @@ func (d *DAG) Execute(maxParallel int) *Report {
 		}
 	}
 	return report
+}
+
+// CriticalPathSeconds prices every node's longest downstream chain: the
+// node's own predicted duration (price, typically a CoRI forecast of its
+// service) plus the most expensive chain among its dependents. Handing the
+// map to ExecutePrioritized launches ready nodes critical-path-first.
+func (d *DAG) CriticalPathSeconds(price func(NodeDef) float64) (map[string]float64, error) {
+	if _, err := d.TopoOrder(); err != nil {
+		return nil, err
+	}
+	seconds := make(map[string]float64, len(d.tasks))
+	dependents := make(map[string][]string, len(d.tasks))
+	for id, t := range d.tasks {
+		seconds[id] = price(t.def)
+		for _, dep := range t.deps {
+			dependents[dep] = append(dependents[dep], id)
+		}
+	}
+	return cori.ChainPrices(seconds, dependents)
 }
 
 // CriticalPathLen returns the number of nodes on the longest dependency

@@ -313,3 +313,173 @@ func TestCriticalPathDiamond(t *testing.T) {
 		t.Errorf("critical path %d, want 3", cp)
 	}
 }
+
+// TestRamsesZoomNoSnapshots is the regression test for the zero-snapshot
+// document: treemaker used to be emitted with an empty Depends, detaching the
+// post-processing chain from the simulation. With no HaloMaker stages it must
+// hang off mpi_stop.
+func TestRamsesZoomNoSnapshots(t *testing.T) {
+	doc := RamsesZoomDocument(2, 0)
+	var tree *NodeDef
+	for i := range doc.Nodes {
+		if doc.Nodes[i].ID == "treemaker" {
+			tree = &doc.Nodes[i]
+		}
+	}
+	if tree == nil {
+		t.Fatal("no treemaker node")
+	}
+	if tree.Depends != "mpi_stop" {
+		t.Fatalf("treemaker Depends = %q, want %q", tree.Depends, "mpi_stop")
+	}
+	d, err := FromDocument(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos["treemaker"] < pos["mpi_stop"] {
+		t.Fatalf("treemaker at %d before mpi_stop at %d", pos["treemaker"], pos["mpi_stop"])
+	}
+}
+
+// TestExecutePanicRecovered: a panicking action must fail its own node and
+// skip its dependents — not crash the process.
+func TestExecutePanicRecovered(t *testing.T) {
+	d := New("panic")
+	var sideRan atomic.Bool
+	d.Add("a", "s", nil, func(*TaskContext) error { return nil })
+	d.Add("bad", "s", []string{"a"}, func(*TaskContext) error { panic("decode blew up") })
+	d.Add("child", "s", []string{"bad"}, func(*TaskContext) error { return nil })
+	d.Add("side", "s", []string{"a"}, func(*TaskContext) error { sideRan.Store(true); return nil })
+
+	rep := d.Execute(0)
+	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "panicked") {
+		t.Fatalf("Report.Err = %v, want panic converted to an error", rep.Err)
+	}
+	if err := rep.Results["bad"].Err; err == nil || !strings.Contains(err.Error(), "decode blew up") {
+		t.Fatalf("bad node error = %v", err)
+	}
+	if !rep.Results["child"].Skipped {
+		t.Error("dependent of the panicked node should skip")
+	}
+	if !sideRan.Load() || rep.Results["side"].Err != nil {
+		t.Error("independent branch should still complete")
+	}
+}
+
+// TestExecuteSkipsExactlyTransitiveDependents: one failure must skip its
+// transitive closure and nothing else, even through shared nodes.
+func TestExecuteSkipsExactlyTransitiveDependents(t *testing.T) {
+	d := New("exact")
+	ran := make(map[string]*atomic.Bool)
+	add := func(id string, deps []string, fail bool) {
+		flag := &atomic.Bool{}
+		ran[id] = flag
+		d.Add(id, "s", deps, func(*TaskContext) error {
+			flag.Store(true)
+			if fail {
+				return errors.New(id + " failed")
+			}
+			return nil
+		})
+	}
+	add("root", nil, false)
+	add("bad", []string{"root"}, true)
+	add("mid", []string{"bad"}, false)
+	add("leaf", []string{"mid", "ok2"}, false) // shared: skipped via mid even though ok2 succeeds
+	add("ok1", []string{"root"}, false)
+	add("ok2", []string{"ok1"}, false)
+
+	rep := d.Execute(0)
+	wantSkipped := map[string]bool{"mid": true, "leaf": true}
+	for id, res := range rep.Results {
+		if res.Skipped != wantSkipped[id] {
+			t.Errorf("%s skipped=%v, want %v", id, res.Skipped, wantSkipped[id])
+		}
+		if wantSkipped[id] && ran[id].Load() {
+			t.Errorf("%s ran despite a failed transitive dependency", id)
+		}
+	}
+	for _, id := range []string{"root", "ok1", "ok2"} {
+		if !ran[id].Load() || rep.Results[id].Err != nil {
+			t.Errorf("independent node %s should have completed cleanly", id)
+		}
+	}
+}
+
+// TestAddDuplicateDepsDeduped: duplicate ids in Depends must collapse to one
+// edge — double-counting them used to be able to strand the node waiting for
+// a completion that can only arrive once.
+func TestAddDuplicateDepsDeduped(t *testing.T) {
+	d := New("dup")
+	d.Add("a", "s", nil, func(ctx *TaskContext) error { ctx.SetOutput("va"); return nil })
+	if err := d.Add("b", "s", []string{"a", "a", "a"}, func(ctx *TaskContext) error {
+		v, ok := ctx.DepOutput("a")
+		if !ok || v != "va" {
+			return fmt.Errorf("dep output = %v, %v", v, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dep := d.Document().Nodes[1].Depends; dep != "a" {
+		t.Fatalf("Depends = %q, want deduped %q", dep, "a")
+	}
+	rep := d.Execute(0)
+	if rep.Err != nil {
+		t.Fatalf("duplicate deps wedged the run: %v", rep.Err)
+	}
+}
+
+// TestReportErrDeterministic: with several failing nodes, Report.Err must be
+// the first failure in topological order regardless of finish order.
+func TestReportErrDeterministic(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		d := New("multi-fail")
+		errA, errB := errors.New("fail-a"), errors.New("fail-b")
+		// a fails slowly, b fails instantly: wall-clock order is b then a.
+		d.Add("a", "s", nil, func(*TaskContext) error { time.Sleep(2 * time.Millisecond); return errA })
+		d.Add("b", "s", nil, func(*TaskContext) error { return errB })
+		rep := d.Execute(0)
+		if !errors.Is(rep.Err, errA) {
+			t.Fatalf("iteration %d: Report.Err = %v, want the topo-first failure %v", i, rep.Err, errA)
+		}
+		if !errors.Is(rep.Results["b"].Err, errB) {
+			t.Fatalf("iteration %d: b's own result lost: %v", i, rep.Results["b"].Err)
+		}
+	}
+}
+
+// TestExecutePrioritizedOrdersReadySet: with one slot, ready nodes must
+// launch in decreasing priority, ties broken by topological order.
+func TestExecutePrioritizedOrdersReadySet(t *testing.T) {
+	d := New("prio")
+	var mu sync.Mutex
+	var got []string
+	mk := func(id string) {
+		d.Add(id, "s", nil, func(*TaskContext) error {
+			mu.Lock()
+			got = append(got, id)
+			mu.Unlock()
+			return nil
+		})
+	}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		mk(id)
+	}
+	rep := d.ExecutePrioritized(1, map[string]float64{"c": 30, "a": 10, "b": 10})
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	// c first (highest), then a and b (tied at 10, topo order), then d (0).
+	if want := "c,a,b,d"; strings.Join(got, ",") != want {
+		t.Fatalf("launch order %v, want %s", got, want)
+	}
+}
