@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dataman"
 	"repro/internal/deploy"
 	"repro/internal/diet"
 	"repro/internal/logsvc"
@@ -53,6 +54,9 @@ func main() {
 		replanDwel = flag.Duration("replan-dwell", 0, "hysteresis: minimum time between parent moves of the same SeD; moves wanted sooner are deferred (0 = move freely)")
 		evictConf  = flag.Float64("evict-confidence", 0, "expire gossip-registry contributions whose decayed confidence falls below this floor (0 = keep forever)")
 		evictHL    = flag.Duration("evict-halflife", time.Hour, "confidence decay half-life registry eviction uses")
+		withCat    = flag.Bool("with-datacatalog", false, "host the platform data catalog in this process; SeDs join it with dietsed -data-catalog")
+		catPort    = flag.String("datacatalog-listen", ":9003", "data catalog listen address (with -with-datacatalog)")
+		catCap     = flag.Int("datacatalog-replica-cap", 0, "replicas per dataset the hosted catalog mints on demand-fetch paths (0 = unlimited)")
 		logEvents  = flag.Bool("log-events", false, "log middleware trace events (registrations, evictions, replans, migrations)")
 		// Observability: host the LogService bus (typically beside the MA,
 		// like the paper's monitoring node), publish to a remote one, and/or
@@ -114,6 +118,21 @@ func main() {
 			}
 		}
 		log.Printf("federating with %v (forward budget %d hops)", cfg.Peers, *fwdHops)
+	}
+
+	if *withCat {
+		cat := dataman.NewCatalog()
+		if *catCap > 0 {
+			cat.SetReplicaCap(*catCap)
+		}
+		cs := rpc.NewServer()
+		cs.Register(dataman.CatalogObjectName, cat.Handler())
+		addr, err := cs.Start(*catPort)
+		if err != nil {
+			log.Fatalf("starting data catalog: %v", err)
+		}
+		defer cs.Close()
+		log.Printf("data catalog on %s; join SeDs with dietsed -data-catalog %s", addr, addr)
 	}
 
 	var sinks logsvc.Tee

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/cori"
+	"repro/internal/dataman"
 	"repro/internal/diet"
 	"repro/internal/logsvc"
 	"repro/internal/metrics"
@@ -89,6 +90,11 @@ func main() {
 		batchJobNodes = flag.Int("batch-job-nodes", 1, "nodes each solve's reservation requests")
 		batchBackfill = flag.Bool("batch-backfill", true, "conservative backfilling in the batch queue, preferring forecast-sized jobs")
 		batchWall     = flag.Duration("batch-wall", 2*time.Hour, "fixed fallback walltime granted while the CoRI model is cold")
+		// Data management: join a platform data catalog so the SeD serves a
+		// DAGDA-style store, fetches persistent inputs by DataID, publishes
+		// persistent outputs, and prices input transfers into its estimates.
+		dataCatalog  = flag.String("data-catalog", "", "join the platform data catalog served at this address (empty = no data plane)")
+		dataFallback = flag.Float64("data-fallback-mbps", 0, "assumed bandwidth for transfer estimates while a node pair's model is untrusted (0 = the default, 100)")
 		// Observability: route events + request spans to the process log or a
 		// remote LogService bus, and expose Prometheus metrics over HTTP.
 		logEvents  = flag.Bool("log-events", false, "log middleware trace events and request spans")
@@ -155,16 +161,24 @@ func main() {
 			fallbackParents = append(fallbackParents, p)
 		}
 	}
-	sed, err := diet.NewSeD(diet.SeDConfig{
+	cfg := diet.SeDConfig{
 		Name: *name, Parent: *parent, Naming: *namingAddr,
 		Capacity: *capacity, PowerGFlops: *power, Cluster: *cluster,
 		WorkDir: dir, ListenAddr: *listen, Executor: executor,
 		CoRI:   cori.Config{Window: *coriWindow, HalfLife: *coriHalfLife},
 		Events: events, Metrics: reg,
-		ParentProbe:     *parentProbe,
-		ParentMaxMissed: *parentMissed,
-		FallbackParents: fallbackParents,
-	})
+		ParentProbe:      *parentProbe,
+		ParentMaxMissed:  *parentMissed,
+		FallbackParents:  fallbackParents,
+		DataFallbackMBps: *dataFallback,
+	}
+	if *dataCatalog != "" {
+		cfg.Data = &dataman.Remote{Addr: *dataCatalog}
+		// Each process trains its own pair models from the transfers it sees;
+		// estimates fall back to -data-fallback-mbps until a pair is trusted.
+		cfg.Transfers = cori.NewTransferMonitor(cori.Config{Window: *coriWindow, HalfLife: *coriHalfLife})
+	}
+	sed, err := diet.NewSeD(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

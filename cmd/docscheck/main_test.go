@@ -216,3 +216,27 @@ func TestCheckAblationIndexCoversWorkflowAblation(t *testing.T) {
 		t.Fatalf("indexed A11 must satisfy the check, got %v", problems)
 	}
 }
+
+func TestCheckAblationIndexCoversDataAblation(t *testing.T) {
+	// Same contract for the A13 marker in the data ablation.
+	files := map[string]string{
+		"README.md": "| Ablation | Question |\n|---|---|\n| A11 | indexed |\n",
+		"internal/simgrid/dataablation.go": "package simgrid\n\n" +
+			"// This file runs the data ablation (A13): transfer-priced placement.\n",
+	}
+	problems, err := CheckAblationIndex(writeTree(t, files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "no | A13 | row") {
+		t.Fatalf("unindexed A13 must be reported, got %v", problems)
+	}
+	files["README.md"] += "| A13 | data-aware scheduling |\n"
+	problems, err = CheckAblationIndex(writeTree(t, files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("indexed A13 must satisfy the check, got %v", problems)
+	}
+}

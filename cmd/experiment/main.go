@@ -14,6 +14,7 @@
 //	experiment -failure-ablation         # A10: chaos schedule, self-healing vs fragile hierarchy
 //	experiment -workflow-ablation        # A11: zoom-campaign DAGs, topo round-robin vs forecast critical-path
 //	experiment -federation-ablation      # A12: 1 MA vs N federated MAs under a saturating stream
+//	experiment -data-ablation            # A13: data-blind vs transfer-priced placement on a data-heavy sweep
 package main
 
 import (
@@ -59,10 +60,13 @@ func main() {
 		fedAblate  = flag.Bool("federation-ablation", false, "run the federation ablation (A12): the same saturating submission stream against one MA vs N federated MAs with sticky routing and peer forwarding")
 		fedMAs     = flag.Int("federation-mas", 0, "federated arm width for the federation ablation (0 = the A12 default, 4)")
 		fedRate    = flag.Float64("federation-rate", 0, "open-loop arrival rate of the federation ablation stream, requests/s (0 = the default, 100)")
+		daAblation = flag.Bool("data-ablation", false, "run the data ablation (A13): data-blind vs transfer-priced placement on a persistent-data parameter sweep")
+		daSizeMB   = flag.Float64("data-size-mb", 0, "snapshot size for the data ablation, MB (0 = the A13 default, 3000)")
+		daSets     = flag.Int("data-sets", 0, "distinct snapshots in the data ablation sweep (0 = the A13 default, 6)")
 		rounds     = flag.Int("rounds", 2, "campaigns per trained arm in the ablations (rounds-1 train, the last measures)")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation && !*rpAblation && !*bfAblation && !*flAblation && !*wfAblation && !*fedAblate {
+	if !*fig5 && !*fig6 && !*totals && !*compare && !*sweep && !*fcAblation && !*dpAblation && !*wsAblation && !*rpAblation && !*bfAblation && !*flAblation && !*wfAblation && !*fedAblate && !*daAblation {
 		*all = true
 	}
 
@@ -355,6 +359,19 @@ func main() {
 		row(fmt.Sprintf("%d federated MAs", cfg.MAs), res.Federated)
 		fmt.Printf("  → federation lifts saturation throughput %.2fx and cuts p99 submit latency %.1fx under the same stream\n",
 			res.ThroughputGainX(), res.P99GainX())
+		return
+	}
+
+	if *daAblation {
+		fmt.Println("Ablation A13 — data-aware scheduling: transfer-priced vs data-blind placement:")
+		res := simgrid.RunDataAblation(simgrid.DataAblationConfig{
+			DatasetMB: *daSizeMB,
+			Datasets:  *daSets,
+			Seed:      *seed,
+		})
+		res.Print(os.Stdout)
+		fmt.Printf("  → pricing input transfers from the trained pair models saves %.1f%% makespan and %.1f%% of the bytes moved\n",
+			res.MakespanGainPct(), res.BytesSavedPct())
 		return
 	}
 

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"repro/internal/dataman"
 	"repro/internal/diet"
 	"repro/internal/scheduler"
 )
@@ -64,6 +65,16 @@ type (
 	ServiceSpec = diet.ServiceSpec
 )
 
+// Data management (the paper's DTM/DAGDA role: persistent data published
+// platform-wide, located by ID, fetched to wherever the solve runs).
+type (
+	// DataCatalog tracks replica locations and sizes for the platform;
+	// wire one into DeploymentSpec.Data to data-enable every SeD.
+	DataCatalog = dataman.Catalog
+	// DataStore is one node's byte store.
+	DataStore = dataman.Store
+)
+
 // Scheduling plug-ins.
 type (
 	// Estimate is a server's estimation vector.
@@ -118,6 +129,11 @@ var (
 	WaitAll = diet.WaitAll
 	// WithWork passes a work estimate to the scheduler.
 	WithWork = diet.WithWork
+
+	// NewDataCatalog creates a platform data catalog; NewDataStore a node
+	// store to register on it.
+	NewDataCatalog = dataman.NewCatalog
+	NewDataStore   = dataman.NewStore
 
 	// GridRPC-compatible aliases (the paper §5.3.1: every diet_ function is
 	// duplicated with a grpc_ function).

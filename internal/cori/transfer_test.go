@@ -1,0 +1,106 @@
+package cori
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a settable virtual clock for staleness tests.
+func fixedClock(start time.Time) (func() time.Time, func(time.Duration)) {
+	now := start
+	return func() time.Time { return now }, func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestTransferMonitorPredictsFromEWMA(t *testing.T) {
+	clock, _ := fixedClock(time.Unix(0, 0))
+	tm := NewTransferMonitor(Config{Now: clock})
+	// Constant 100 MB moved in 2s ⇒ 50 MB/s, no size spread to regress on.
+	for i := 0; i < 5; i++ {
+		tm.Observe(TransferSample{From: "a", To: "b", SizeMB: 100, Duration: 2 * time.Second})
+	}
+	m, ok := tm.Model("a", "b")
+	if !ok {
+		t.Fatal("pair must have a model")
+	}
+	if m.PerMBSeconds != 0 {
+		t.Fatalf("no size spread must yield no fit, got slope %v", m.PerMBSeconds)
+	}
+	if math.Abs(m.EWMAMBps-50) > 1e-9 {
+		t.Fatalf("EWMA bandwidth = %v, want 50", m.EWMAMBps)
+	}
+	sec, conf, ok := tm.Predict("a", "b", 200)
+	if !ok || math.Abs(sec-4) > 1e-9 || conf != 1 {
+		t.Fatalf("Predict = (%v, %v, %v), want (4, 1, true)", sec, conf, ok)
+	}
+}
+
+func TestTransferMonitorFitsLatencyPlusPerMB(t *testing.T) {
+	clock, _ := fixedClock(time.Unix(0, 0))
+	tm := NewTransferMonitor(Config{Now: clock})
+	// duration = 0.5s latency + 0.01 s/MB exactly.
+	for _, mb := range []float64{10, 50, 100, 400, 1000} {
+		d := time.Duration((0.5 + 0.01*mb) * float64(time.Second))
+		tm.Observe(TransferSample{From: "a", To: "b", SizeMB: mb, Duration: d})
+	}
+	m, _ := tm.Model("a", "b")
+	if math.Abs(m.PerMBSeconds-0.01) > 1e-6 || math.Abs(m.LatencySeconds-0.5) > 1e-6 {
+		t.Fatalf("fit = %v + %v·MB, want 0.5 + 0.01·MB", m.LatencySeconds, m.PerMBSeconds)
+	}
+	if got := m.TransferSeconds(200); math.Abs(got-2.5) > 1e-6 {
+		t.Fatalf("TransferSeconds(200) = %v, want 2.5", got)
+	}
+}
+
+func TestTransferMonitorPairIsSymmetric(t *testing.T) {
+	tm := NewTransferMonitor(Config{})
+	tm.Observe(TransferSample{From: "b", To: "a", SizeMB: 10, Duration: time.Second})
+	if _, ok := tm.Model("a", "b"); !ok {
+		t.Fatal("reverse direction must train the same pair model")
+	}
+	if got := PairKey("b", "a"); got != PairKey("a", "b") || got != "a|b" {
+		t.Fatalf("PairKey not canonical: %q", got)
+	}
+}
+
+func TestTransferMonitorConfidenceDecays(t *testing.T) {
+	clock, advance := fixedClock(time.Unix(0, 0))
+	tm := NewTransferMonitor(Config{HalfLife: time.Hour, Now: clock})
+	tm.Observe(TransferSample{From: "a", To: "b", SizeMB: 10, Duration: time.Second})
+	m, _ := tm.Model("a", "b")
+	if m.Confidence != 1 {
+		t.Fatalf("fresh confidence = %v, want 1", m.Confidence)
+	}
+	advance(2 * time.Hour)
+	m, _ = tm.Model("a", "b")
+	if math.Abs(m.Confidence-0.25) > 1e-9 {
+		t.Fatalf("confidence after two half-lives = %v, want 0.25", m.Confidence)
+	}
+}
+
+func TestTransferMonitorIgnoresDegenerateSamples(t *testing.T) {
+	tm := NewTransferMonitor(Config{})
+	tm.Observe(TransferSample{From: "a", To: "b", SizeMB: 0, Duration: time.Second})
+	tm.Observe(TransferSample{From: "a", To: "b", SizeMB: 10, Duration: 0})
+	tm.Observe(TransferSample{From: "a", To: "a", SizeMB: 10, Duration: time.Second})
+	if pairs := tm.Pairs(); len(pairs) != 0 {
+		t.Fatalf("degenerate samples must be dropped, got pairs %v", pairs)
+	}
+	if _, _, ok := tm.Predict("a", "b", 10); ok {
+		t.Fatal("unobserved pair must not predict")
+	}
+	if sec, conf, ok := tm.Predict("n", "n", 10); !ok || sec != 0 || conf != 1 {
+		t.Fatalf("same-node transfer = (%v, %v, %v), want free with full confidence", sec, conf, ok)
+	}
+}
+
+func TestTransferMonitorWindowBounds(t *testing.T) {
+	tm := NewTransferMonitor(Config{Window: 4})
+	for i := 0; i < 10; i++ {
+		tm.Observe(TransferSample{From: "a", To: "b", SizeMB: 10, Duration: time.Second})
+	}
+	m, _ := tm.Model("a", "b")
+	if m.Window != 4 || m.Samples != 10 {
+		t.Fatalf("window/samples = %d/%d, want 4/10", m.Window, m.Samples)
+	}
+}

@@ -1,0 +1,62 @@
+package dataman
+
+import "sync"
+
+// AutoReplicator is the proactive half of hot-dataset replication: the
+// scheduler notes every remote access (a solve whose input had to travel),
+// and once a node has paid for the same dataset enough times the replicator
+// pushes a replica there — best-effort, like Replicate, and bounded by a
+// replica-count cap so a platform-wide hit never copies a dataset
+// everywhere. The forecast loop closes here: data-aware ranking steers jobs
+// toward forecast-favoured servers, their repeated accesses mark the dataset
+// hot, and the replica follows the jobs.
+type AutoReplicator struct {
+	Catalog *Catalog
+	// MaxReplicas caps a dataset's replica count (default 3).
+	MaxReplicas int
+	// MinAccesses is how many remote accesses from one node earn it a
+	// replica (default 2: the first access already copied the bytes once;
+	// the second proves reuse).
+	MinAccesses int
+
+	mu     sync.Mutex
+	counts map[string]map[string]int // data ID → node → remote accesses
+}
+
+// NewAutoReplicator wraps a catalog with the default caps.
+func NewAutoReplicator(c *Catalog) *AutoReplicator {
+	return &AutoReplicator{Catalog: c, MaxReplicas: 3, MinAccesses: 2}
+}
+
+// Note records that node consumed id remotely and replicates when the
+// dataset has proven hot there. It returns true when a new replica was
+// published; failures (sticky data, dead stores, races with Unpublish) are
+// swallowed — replication is an optimisation, never a correctness need.
+func (r *AutoReplicator) Note(id, node string) bool {
+	maxReplicas, minAccesses := r.MaxReplicas, r.MinAccesses
+	if maxReplicas <= 0 {
+		maxReplicas = 3
+	}
+	if minAccesses <= 0 {
+		minAccesses = 2
+	}
+	r.mu.Lock()
+	if r.counts == nil {
+		r.counts = make(map[string]map[string]int)
+	}
+	byNode := r.counts[id]
+	if byNode == nil {
+		byNode = make(map[string]int)
+		r.counts[id] = byNode
+	}
+	byNode[node]++
+	hot := byNode[node] >= minAccesses
+	if hot {
+		byNode[node] = 0 // restart the evidence clock after acting
+	}
+	r.mu.Unlock()
+	if !hot || r.Catalog.HasReplica(id, node) || r.Catalog.ReplicaCount(id) >= maxReplicas {
+		return false
+	}
+	return r.Catalog.Replicate(id, node) == nil
+}

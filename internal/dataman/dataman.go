@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/rpc"
 )
@@ -138,14 +139,23 @@ func (s *Store) Handler() rpc.Handler {
 	})
 }
 
+// TransferObserver is notified of every measured inter-node data movement
+// the catalog performs (Fetch/FetchTo/Replicate). The glue layer feeds these
+// samples to a cori.TransferMonitor so the scheduler can forecast transfer
+// times; the plain-func shape keeps dataman free of a cori dependency.
+type TransferObserver func(from, to string, sizeMB float64, d time.Duration)
+
 // Catalog is the platform-wide replica locator (the "agent side" of the data
 // manager): it maps DataID → the nodes holding a replica. It is safe for
 // concurrent use.
 type Catalog struct {
-	mu       sync.RWMutex
-	nodes    map[string]string   // node name → store address
-	replicas map[string][]string // data ID → node names, insertion order
-	modes    map[string]Mode
+	mu         sync.RWMutex
+	nodes      map[string]string   // node name → store address
+	replicas   map[string][]string // data ID → node names, insertion order
+	modes      map[string]Mode
+	sizes      map[string]float64 // data ID → payload size, MB
+	replicaCap int                // FetchTo stops minting replicas at this count (0 = unlimited)
+	observers  []TransferObserver
 }
 
 // NewCatalog returns an empty catalog.
@@ -154,6 +164,33 @@ func NewCatalog() *Catalog {
 		nodes:    make(map[string]string),
 		replicas: make(map[string][]string),
 		modes:    make(map[string]Mode),
+		sizes:    make(map[string]float64),
+	}
+}
+
+// AddTransferObserver registers a callback for measured transfers. Observers
+// run synchronously on the fetching goroutine and must be fast.
+func (c *Catalog) AddTransferObserver(fn TransferObserver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observers = append(c.observers, fn)
+}
+
+// SetReplicaCap bounds the replicas FetchTo mints on its own (0 = unlimited).
+// Explicit Replicate calls are never capped — the operator knows best.
+func (c *Catalog) SetReplicaCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replicaCap = n
+}
+
+// observeTransfer fans a measured movement out to the observers.
+func (c *Catalog) observeTransfer(from, to string, sizeMB float64, d time.Duration) {
+	c.mu.RLock()
+	obs := append([]TransferObserver(nil), c.observers...)
+	c.mu.RUnlock()
+	for _, fn := range obs {
+		fn(from, to, sizeMB, d)
 	}
 }
 
@@ -212,6 +249,7 @@ func (c *Catalog) Unpublish(id, node string) error {
 		if len(c.replicas[id]) == 0 {
 			delete(c.replicas, id)
 			delete(c.modes, id)
+			delete(c.sizes, id)
 		}
 		return nil
 	}
@@ -229,11 +267,29 @@ func (c *Catalog) Locate(id string) ([]string, Mode, error) {
 	return append([]string(nil), nodes...), c.modes[id], nil
 }
 
-// Fetch retrieves id from any replica, nearest-first in catalog order.
+// Fetch retrieves id from any replica, nearest-first in catalog order. A
+// dead store's Get failure falls through to the next replica; only when
+// every replica fails does the last error surface.
 func (c *Catalog) Fetch(id string) (Item, error) {
+	it, _, err := c.fetchAny(id, "")
+	return it, err
+}
+
+// fetchAny walks id's replicas, preferring preferNode when it holds one, and
+// returns the item plus the node that actually served it. This is the single
+// retry loop behind Fetch, FetchTo and Replicate.
+func (c *Catalog) fetchAny(id, preferNode string) (Item, string, error) {
 	nodes, _, err := c.Locate(id)
 	if err != nil {
-		return Item{}, err
+		return Item{}, "", err
+	}
+	if preferNode != "" {
+		for i, n := range nodes {
+			if n == preferNode && i > 0 {
+				nodes[0], nodes[i] = nodes[i], nodes[0]
+				break
+			}
+		}
 	}
 	var lastErr error
 	for _, node := range nodes {
@@ -245,9 +301,102 @@ func (c *Catalog) Fetch(id string) (Item, error) {
 			lastErr = err
 			continue
 		}
+		return it, node, nil
+	}
+	return Item{}, "", fmt.Errorf("dataman: all %d replicas of %q failed: %w", len(nodes), id, lastErr)
+}
+
+// FetchTo retrieves id for consumption on toNode, measuring the transfer and
+// reporting it to the observers. A local replica is served for free. When the
+// bytes had to move and the datum is persistent, a replica is published on
+// toNode best-effort — capped by SetReplicaCap — so reuse across a parameter
+// sweep finds the data already local; this is the on-access half of
+// auto-replication (AutoReplicator is the proactive half).
+func (c *Catalog) FetchTo(id, toNode string) (Item, error) {
+	t0 := time.Now()
+	it, from, err := c.fetchAny(id, toNode)
+	if err != nil {
+		return Item{}, err
+	}
+	if from == toNode {
+		return it, nil // already local, nothing moved
+	}
+	sizeMB := c.itemSizeMB(id, it)
+	c.observeTransfer(from, toNode, sizeMB, time.Since(t0))
+
+	c.mu.RLock()
+	dstAddr, known := c.nodes[toNode]
+	rcap := c.replicaCap
+	count := len(c.replicas[id])
+	c.mu.RUnlock()
+	if !known || it.Mode == Sticky || (rcap > 0 && count >= rcap) {
 		return it, nil
 	}
-	return Item{}, fmt.Errorf("dataman: all %d replicas of %q failed: %w", len(nodes), id, lastErr)
+	// Best-effort local replica, with Replicate's orphan cleanup on a
+	// publish refusal.
+	var accepted bool
+	if err := rpc.Call(dstAddr, ObjectName, "Put", it, &accepted); err != nil {
+		return it, nil
+	}
+	if err := c.Publish(id, toNode, it.Mode); err != nil {
+		var deleted bool
+		_ = rpc.Call(dstAddr, ObjectName, "Delete", id, &deleted)
+	}
+	return it, nil
+}
+
+// itemSizeMB prefers the recorded payload size, falling back to the fetched
+// byte count (and recording it for next time).
+func (c *Catalog) itemSizeMB(id string, it Item) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if mb, ok := c.sizes[id]; ok && mb > 0 {
+		return mb
+	}
+	mb := float64(len(it.Data)) / (1 << 20)
+	if _, published := c.modes[id]; published && mb > 0 {
+		c.sizes[id] = mb
+	}
+	return mb
+}
+
+// SetSizeMB records id's payload size for transfer forecasting; virtual
+// platforms (the simulator) and out-of-band producers use it when the
+// catalog never sees the bytes themselves.
+func (c *Catalog) SetSizeMB(id string, mb float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sizes[id] = mb
+}
+
+// SizeMB returns id's recorded payload size; ok is false when unknown.
+func (c *Catalog) SizeMB(id string) (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	mb, ok := c.sizes[id]
+	return mb, ok
+}
+
+// Put stores data on node's store and publishes the replica in one step —
+// the producer-side convenience the SeD solve path uses.
+func (c *Catalog) Put(id, node string, mode Mode, data []byte) error {
+	c.mu.RLock()
+	addr, ok := c.nodes[node]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("dataman: unknown node %q", node)
+	}
+	var accepted bool
+	if err := rpc.Call(addr, ObjectName, "Put", Item{ID: id, Mode: mode, Data: data}, &accepted); err != nil {
+		return fmt.Errorf("dataman: storing %q on %s: %w", id, node, err)
+	}
+	if err := c.Publish(id, node, mode); err != nil {
+		var deleted bool
+		_ = rpc.Call(addr, ObjectName, "Delete", id, &deleted)
+		return err
+	}
+	c.SetSizeMB(id, float64(len(data))/(1<<20))
+	return nil
 }
 
 // Replicate copies a persistent datum onto another node and publishes the
@@ -271,7 +420,8 @@ func (c *Catalog) Replicate(id, toNode string) error {
 	if !ok {
 		return fmt.Errorf("dataman: unknown destination node %q", toNode)
 	}
-	it, err := c.Fetch(id)
+	t0 := time.Now()
+	it, from, err := c.fetchAny(id, "")
 	if err != nil {
 		return err
 	}
@@ -279,6 +429,7 @@ func (c *Catalog) Replicate(id, toNode string) error {
 	if err := rpc.Call(dstAddr, ObjectName, "Put", it, &accepted); err != nil {
 		return fmt.Errorf("dataman: replicating %q to %s: %w", id, toNode, err)
 	}
+	c.observeTransfer(from, toNode, c.itemSizeMB(id, it), time.Since(t0))
 	if err := c.Publish(id, toNode, mode); err != nil {
 		// The bytes landed but the catalog refused the record (the datum was
 		// unpublished and repinned while the copy was in flight): delete the
@@ -289,6 +440,18 @@ func (c *Catalog) Replicate(id, toNode string) error {
 		return fmt.Errorf("dataman: publishing replica of %q on %s: %w", id, toNode, err)
 	}
 	return nil
+}
+
+// HasReplica reports whether node holds a replica of id.
+func (c *Catalog) HasReplica(id, node string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, n := range c.replicas[id] {
+		if n == node {
+			return true
+		}
+	}
+	return false
 }
 
 // ReplicaCount returns the number of nodes holding id (0 if unpublished).

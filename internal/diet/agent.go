@@ -116,6 +116,11 @@ type SubmitRequest struct {
 	// RequestID is the client-minted trace identity of this call; the MA
 	// stamps its schedule span with it and fans it down the collect tree.
 	RequestID string
+	// DataIDs are the persistent inputs the call references by ID without
+	// bytes attached — the data the chosen server must fetch. They ride the
+	// collect fan-out so each SeD prices its own input transfers into the
+	// estimate (gob ignores the field on older peers).
+	DataIDs []string
 }
 
 // SubmitReply carries the ranked server list back to the client (the paper:
@@ -136,6 +141,10 @@ type CollectRequest struct {
 	// RequestID carries the trace identity down the hierarchy so every
 	// sub-agent's collect span joins the request's trace.
 	RequestID string
+	// DataIDs carries the request's persistent input references down the
+	// tree; data-wired SeDs answer through EstimateFor and include the
+	// predicted input-transfer time in their estimation vector.
+	DataIDs []string
 }
 
 // TopologyNode describes the deployed hierarchy for inspection.
@@ -507,7 +516,16 @@ func (a *Agent) collect(req CollectRequest) []scheduler.Estimate {
 				switch c.Kind {
 				case "SeD":
 					var reply EstimateReply
-					err := rpc.Call(c.Addr, "sed:"+c.Name, "Estimate", req.Service, &reply)
+					var err error
+					if len(req.DataIDs) > 0 {
+						// Data-carrying requests go through the richer query so
+						// the SeD prices its input transfers; plain requests keep
+						// the original wire shape, byte for byte.
+						err = rpc.Call(c.Addr, "sed:"+c.Name, "EstimateFor",
+							EstimateQuery{Service: req.Service, DataIDs: req.DataIDs}, &reply)
+					} else {
+						err = rpc.Call(c.Addr, "sed:"+c.Name, "Estimate", req.Service, &reply)
+					}
 					if err == nil && reply.OK {
 						done <- result{name: c.Name, ests: []scheduler.Estimate{reply.Est}, ok: true}
 						return
@@ -667,7 +685,7 @@ func (a *Agent) Submit(req SubmitRequest) (*SubmitReply, error) {
 	}
 	publish(a.cfg.Events, a.cfg.Kind.String()+":"+a.cfg.Name, "submit", req.Service)
 	t0 := time.Now()
-	ests := a.collect(CollectRequest{Service: req.Service, RequestID: req.RequestID})
+	ests := a.collect(CollectRequest{Service: req.Service, RequestID: req.RequestID, DataIDs: req.DataIDs})
 	if len(ests) == 0 && len(a.Peers()) > 0 {
 		// Local miss: ask the federation. Recording our own view of the
 		// request ID first means a forward that loops back here is dropped by

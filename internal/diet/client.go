@@ -168,11 +168,11 @@ func (c *Client) Submit(service string, workGFlops float64) (*SubmitReply, time.
 	return c.FindServers(service, workGFlops)
 }
 
-func (c *Client) submit(service string, workGFlops float64, seq int, requestID string) (*SubmitReply, time.Duration, error) {
+func (c *Client) submit(service string, workGFlops float64, seq int, requestID string, dataIDs []string) (*SubmitReply, time.Duration, error) {
 	t0 := time.Now()
 	var reply SubmitReply
 	err := rpc.Call(c.maAddr, "agent:"+c.cfg.MAName, "Submit",
-		SubmitRequest{Service: service, WorkGFlops: workGFlops, Seq: seq, RequestID: requestID}, &reply)
+		SubmitRequest{Service: service, WorkGFlops: workGFlops, Seq: seq, RequestID: requestID, DataIDs: dataIDs}, &reply)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -180,6 +180,25 @@ func (c *Client) submit(service string, workGFlops float64, seq int, requestID s
 	publishSpan(c.cfg.Events, span(requestID, "client:"+c.id, logsvc.KindSubmit, service,
 		fmt.Sprintf("%d servers ranked", len(reply.Servers)), t0, found))
 	return &reply, found.Sub(t0), nil
+}
+
+// inputDataIDs lists the persistent IN/INOUT references the profile carries
+// by DataID only, with no bytes attached — the inputs the chosen server will
+// have to fetch, which data-aware scheduling prices per candidate. A profile
+// without such references returns nil and the submission is wire-identical
+// to the data-blind one.
+func inputDataIDs(p *Profile) []string {
+	var ids []string
+	for i := range p.Args {
+		a := &p.Args[i]
+		if p.Direction(i) == Out || a.Persist == Volatile {
+			continue
+		}
+		if a.DataID != "" && len(a.Data) == 0 {
+			ids = append(ids, a.DataID)
+		}
+	}
+	return ids
 }
 
 // CallOption tweaks a Call.
@@ -283,7 +302,7 @@ func (c *Client) call(p *Profile, o callOptions) (*CallInfo, error) {
 	var finding time.Duration
 	if reply == nil {
 		var err error
-		reply, finding, err = c.submit(p.Service, o.workGFlops, seq, requestID)
+		reply, finding, err = c.submit(p.Service, o.workGFlops, seq, requestID, inputDataIDs(p))
 		if err != nil {
 			return nil, fmt.Errorf("diet: submission of %q failed: %w", p.Service, err)
 		}

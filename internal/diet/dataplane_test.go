@@ -1,0 +1,168 @@
+package diet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cori"
+	"repro/internal/dataman"
+	"repro/internal/rpc"
+	"repro/internal/scheduler"
+)
+
+// ingestService consumes a persistent file reference (index 0) and produces
+// a persistent derived file (index 2) plus the input length (index 1) — the
+// shape of a zoom stage reading a platform-resident GRAFIC snapshot.
+func ingestService(t *testing.T) ServiceSpec {
+	t.Helper()
+	desc, err := NewProfileDesc("ingest", 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc.Set(0, File, Char)
+	desc.Set(1, Scalar, Int)
+	desc.Set(2, File, Char)
+	return ServiceSpec{
+		Desc: desc,
+		Solve: func(p *Profile) error {
+			_, content, err := p.FileBytes(0)
+			if err != nil {
+				return err
+			}
+			if err := p.SetScalarInt(1, int64(len(content)), Volatile); err != nil {
+				return err
+			}
+			return p.SetFileBytes(2, "derived.dat", append([]byte("halo:"), content...), Persistent)
+		},
+	}
+}
+
+// TestDataPlaneEndToEnd drives the live data plane through a data-wired
+// deployment: a snapshot published on a staging node is referenced by DataID,
+// EstimateFor prices the pull for every SeD, the solve fetches it through the
+// catalog (training the shared TransferMonitor and minting a local replica),
+// the persistent product is published platform-wide, and the follow-up call
+// lands on the replica holder because its transfer term is zero.
+func TestDataPlaneEndToEnd(t *testing.T) {
+	rpc.ResetLocal()
+	catalog := dataman.NewCatalog()
+
+	// A staging node outside the hierarchy holds the published input, like
+	// the NFS server the paper's namelists and GRAFIC files live on.
+	staging := dataman.NewStore("staging")
+	ss := rpc.NewServer()
+	ss.Register(dataman.ObjectName, staging.Handler())
+	stagingAddr, err := rpc.ServeLocal("dataplane-staging", ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if err := catalog.AddNode("staging", stagingAddr); err != nil {
+		t.Fatal(err)
+	}
+
+	snapshot := bytes.Repeat([]byte("grafic"), 16)
+	const snapID = "snap/zoom1"
+	if err := catalog.Put(snapID, "staging", dataman.Persistent, snapshot); err != nil {
+		t.Fatal(err)
+	}
+	// Pretend the snapshot is GB-scale so the fallback-priced pull dominates
+	// ranking; the payload stays tiny so the test moves only bytes.
+	catalog.SetSizeMB(snapID, 800)
+
+	d := newTestDeployment(t, DeploymentSpec{
+		MAName: "MA-data",
+		Policy: scheduler.NewForecastAware(),
+		LAs:    []string{"LA1"},
+		SeDs: []SeDSpec{
+			{Name: "SeD-d1", Parent: "LA1", Capacity: 1, PowerGFlops: 4,
+				Services: []ServiceSpec{ingestService(t)}},
+			{Name: "SeD-d2", Parent: "LA1", Capacity: 1, PowerGFlops: 4,
+				Services: []ServiceSpec{ingestService(t)}},
+		},
+		Local: true,
+		Data:  catalog,
+	})
+	if d.Transfers == nil {
+		t.Fatal("Deploy must create the shared TransferMonitor when Data is set")
+	}
+
+	// Before any transfer is measured every SeD prices the pull at the
+	// fallback bandwidth (800 MB / 100 MB/s), and a query without data
+	// references keeps the data-blind estimate untouched.
+	for _, sed := range d.SeDs {
+		reply := sed.EstimateFor(EstimateQuery{Service: "ingest", DataIDs: []string{snapID}})
+		if got := reply.Est.InputTransferSeconds; got != 8 {
+			t.Errorf("%s cold transfer price = %v s, want 8", sed.cfg.Name, got)
+		}
+		if got := sed.EstimateFor(EstimateQuery{Service: "ingest"}).Est.InputTransferSeconds; got != 0 {
+			t.Errorf("%s prices a no-data query at %v s, want 0", sed.cfg.Name, got)
+		}
+	}
+
+	client, err := d.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Finalize()
+
+	call := func() (*Profile, *CallInfo) {
+		p, err := NewProfile("ingest", 0, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.SetFileRef(0, "snapshot.dat", snapID, Persistent); err != nil {
+			t.Fatal(err)
+		}
+		info, err := client.Call(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := p.ScalarInt(1); err != nil || n != int64(len(snapshot)) {
+			t.Fatalf("solve saw %d input bytes (%v), want %d", n, err, len(snapshot))
+		}
+		return p, info
+	}
+
+	p1, info1 := call()
+
+	// The demand fetch minted a replica beside the solver and trained the
+	// staging↔solver pair model.
+	if got := catalog.ReplicaCount(snapID); got != 2 {
+		t.Errorf("replicas after first solve = %d, want 2 (staging + %s)", got, info1.Server)
+	}
+	if !catalog.HasReplica(snapID, info1.Server) {
+		t.Errorf("solver %s must hold a minted replica", info1.Server)
+	}
+	if pairs := d.Transfers.Pairs(); len(pairs) == 0 {
+		t.Error("measured fetch must train the shared TransferMonitor")
+	} else if want := cori.PairKey("staging", info1.Server); pairs[0] != want {
+		t.Errorf("trained pair %q, want %q", pairs[0], want)
+	}
+
+	// The persistent product was published platform-wide under its minted ID.
+	outID := p1.Args[2].DataID
+	if outID == "" {
+		t.Fatal("persistent OUT file should get a DataID")
+	}
+	if it, err := catalog.Fetch(outID); err != nil || !bytes.Equal(it.Data, append([]byte("halo:"), snapshot...)) {
+		t.Errorf("product %q not fetchable through the catalog: %v", outID, err)
+	}
+
+	// Data-aware ranking now has an 8 s spread: the holder prices the input
+	// at zero, the other SeD still pays the fallback pull, so the follow-up
+	// call must land back on the replica.
+	for _, sed := range d.SeDs {
+		want := 8.0
+		if sed.cfg.Name == info1.Server {
+			want = 0
+		}
+		reply := sed.EstimateFor(EstimateQuery{Service: "ingest", DataIDs: []string{snapID}})
+		if got := reply.Est.InputTransferSeconds; got != want {
+			t.Errorf("%s transfer price after first solve = %v s, want %v", sed.cfg.Name, got, want)
+		}
+	}
+	if _, info2 := call(); info2.Server != info1.Server {
+		t.Errorf("second call served by %s, want the replica holder %s", info2.Server, info1.Server)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cori"
+	"repro/internal/dataman"
 	"repro/internal/logsvc"
 	"repro/internal/metrics"
 	"repro/internal/naming"
@@ -80,6 +82,15 @@ type DeploymentSpec struct {
 	// Metrics, when set, is shared by every component: one registry scrapes
 	// the whole deployment, with per-component labels telling SeDs apart.
 	Metrics *metrics.Registry
+	// Data, when set, wires every SeD into the platform data manager: each
+	// SeD joins the catalog as a node with its own store, estimates price
+	// input transfers, solves fetch missing persistent inputs, and produced
+	// persistent data is published platform-wide.
+	Data *dataman.Catalog
+	// Transfers is the shared per-pair bandwidth forecaster. When nil and
+	// Data is set, Deploy creates one and subscribes it to the catalog's
+	// measured transfers; supply both to control the wiring yourself.
+	Transfers *cori.TransferMonitor
 }
 
 // Deployment is a running platform handle.
@@ -89,6 +100,10 @@ type Deployment struct {
 	MA         *Agent
 	LAs        []*Agent
 	SeDs       []*SeD
+	// Data and Transfers echo the spec's data plane (Transfers is the
+	// Deploy-created monitor when the spec left it nil).
+	Data      *dataman.Catalog
+	Transfers *cori.TransferMonitor
 
 	events  EventSink
 	servers []*rpc.Server
@@ -100,7 +115,14 @@ func Deploy(spec DeploymentSpec) (*Deployment, error) {
 	if spec.MAName == "" {
 		spec.MAName = "MA1"
 	}
-	d := &Deployment{Naming: naming.NewService()}
+	if spec.Data != nil && spec.Transfers == nil {
+		spec.Transfers = cori.NewTransferMonitor(cori.Config{})
+		monitor := spec.Transfers
+		spec.Data.AddTransferObserver(func(from, to string, sizeMB float64, dur time.Duration) {
+			monitor.Observe(cori.TransferSample{From: from, To: to, SizeMB: sizeMB, Duration: dur})
+		})
+	}
+	d := &Deployment{Naming: naming.NewService(), Data: spec.Data, Transfers: spec.Transfers}
 
 	// Naming service first; everything else registers through it.
 	ns := rpc.NewServer()
@@ -150,12 +172,17 @@ func Deploy(spec DeploymentSpec) (*Deployment, error) {
 	}
 
 	for _, ss := range spec.SeDs {
-		sed, err := NewSeD(SeDConfig{
+		cfg := SeDConfig{
 			Name: ss.Name, Parent: ss.Parent, Naming: d.NamingAddr,
 			Capacity: ss.Capacity, PowerGFlops: ss.PowerGFlops,
 			Cluster: ss.Cluster, Local: spec.Local, Executor: ss.Executor,
 			Events: spec.Events, Metrics: spec.Metrics,
-		})
+			Transfers: spec.Transfers,
+		}
+		if spec.Data != nil {
+			cfg.Data = spec.Data
+		}
+		sed, err := NewSeD(cfg)
 		if err != nil {
 			d.Close()
 			return nil, err

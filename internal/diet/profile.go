@@ -337,6 +337,25 @@ func (p *Profile) SetFileBytes(i int, name string, content []byte, persist Persi
 	return nil
 }
 
+// SetFileRef stores a reference to a platform-resident file at index i: the
+// argument carries only the DataID, no payload, and the solving server pulls
+// the bytes from the data manager — free when a replica is already local,
+// which is exactly what data-aware placement optimises for. References must
+// be persistent or sticky; volatile data always travels inline.
+func (p *Profile) SetFileRef(i int, name, id string, persist Persistence) error {
+	if err := p.checkIndex(i); err != nil {
+		return err
+	}
+	if id == "" {
+		return fmt.Errorf("diet: file reference at %d needs a DataID", i)
+	}
+	if persist == Volatile {
+		return fmt.Errorf("diet: file reference %q must be persistent or sticky", id)
+	}
+	p.Args[i] = Arg{Kind: File, Base: Char, Persist: persist, FileName: name, DataID: id}
+	return nil
+}
+
 // FileBytes reads a file argument from index i.
 func (p *Profile) FileBytes(i int) (name string, content []byte, err error) {
 	if err := p.checkIndex(i); err != nil {

@@ -2,10 +2,12 @@ package diet
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"repro/internal/cori"
+	"repro/internal/dataman"
 	"repro/internal/logsvc"
 	"repro/internal/metrics"
 	"repro/internal/naming"
@@ -105,7 +107,25 @@ type SeDConfig struct {
 	// size, EWMA weight, staleness half-life, injectable clock). The zero
 	// value selects the cori package defaults.
 	CoRI cori.Config
+	// Data connects the SeD to the platform data manager (DTM/DAGDA): the
+	// SeD hosts a node store under its own name, estimates price the
+	// predicted input-transfer time of DataID-referenced inputs, solves
+	// fetch missing persistent inputs through the catalog (minting local
+	// replicas for reuse), and produced persistent data is published. Nil
+	// keeps the SeD data-blind, exactly as before the data plane existed.
+	Data dataman.Access
+	// Transfers is the per-node-pair bandwidth forecaster transfer pricing
+	// reads; typically one monitor shared platform-wide, trained by the
+	// catalog's transfer observer. Nil means every transfer is priced at
+	// DataFallbackMBps.
+	Transfers *cori.TransferMonitor
+	// DataFallbackMBps prices transfers over links with no trusted model
+	// yet (default 100 MB/s, a conservative WAN figure).
+	DataFallbackMBps float64
 }
+
+// defaultDataFallbackMBps is the assumed bandwidth for unmodelled links.
+const defaultDataFallbackMBps = 100
 
 // solveTiming is returned to the client alongside the solved profile so the
 // experiment harness can split queue wait from compute time.
@@ -147,6 +167,9 @@ type SeD struct {
 	dataStore map[string][]byte // persistent data, by DataID
 
 	monitor *cori.Monitor
+	// dataNode is this SeD's dataman store, created when cfg.Data is set and
+	// served on the SeD's own rpc server so catalog replicas can land here.
+	dataNode *dataman.Store
 
 	jobs     chan *sedJob
 	slots    chan struct{}
@@ -259,6 +282,12 @@ func (s *SeD) objectName() string { return "sed:" + s.cfg.Name }
 // the moral equivalent of diet_SeD(), except it returns instead of blocking.
 func (s *SeD) Start() error {
 	s.server.Register(s.objectName(), s.handler())
+	if s.cfg.Data != nil {
+		// The SeD is a data node: its store answers on the same server, and
+		// the catalog learns the node so fetched replicas can land here.
+		s.dataNode = dataman.NewStore(s.cfg.Name)
+		s.server.Register(dataman.ObjectName, s.dataNode.Handler())
+	}
 	var err error
 	if s.cfg.Local {
 		s.addr, err = rpc.ServeLocal("sed-"+s.cfg.Name, s.server)
@@ -267,6 +296,11 @@ func (s *SeD) Start() error {
 	}
 	if err != nil {
 		return fmt.Errorf("diet: starting SeD %s: %w", s.cfg.Name, err)
+	}
+	if s.cfg.Data != nil {
+		if err := s.cfg.Data.AddNode(s.cfg.Name, s.addr); err != nil {
+			return fmt.Errorf("diet: SeD %s joining the data catalog: %w", s.cfg.Name, err)
+		}
 	}
 	go s.dispatch()
 
@@ -471,6 +505,79 @@ func (s *SeD) Estimate(service string) EstimateReply {
 		model.ApplyToEstimate(&est, s.monitor.DrainEstimate(model, pending, queued+running, s.cfg.Capacity))
 	}
 	return EstimateReply{OK: ok, Est: est}
+}
+
+// EstimateQuery is the data-aware estimate request: the service plus the
+// persistent inputs the call references by DataID.
+type EstimateQuery struct {
+	Service string
+	DataIDs []string
+}
+
+// EstimateFor builds the estimation vector for a request that carries input
+// data references: Estimate plus the predicted seconds to move the non-local
+// inputs here from their nearest replicas. A data-local SeD reports 0 and
+// wins the ties it used to lose.
+func (s *SeD) EstimateFor(q EstimateQuery) EstimateReply {
+	reply := s.Estimate(q.Service)
+	reply.Est.InputTransferSeconds = s.inputTransferSeconds(q.DataIDs)
+	return reply
+}
+
+// inputTransferSeconds prices pulling the given inputs to this SeD: for each
+// dataset not already local, the cheapest predicted transfer from any
+// replica. Unknown datasets (unpublished, or with no recorded size) price as
+// free — the catalog cannot say what moving them costs.
+func (s *SeD) inputTransferSeconds(dataIDs []string) float64 {
+	if s.cfg.Data == nil || len(dataIDs) == 0 {
+		return 0
+	}
+	var total float64
+	for _, id := range dataIDs {
+		if id == "" {
+			continue
+		}
+		s.mu.Lock()
+		_, inLocal := s.dataStore[id]
+		s.mu.Unlock()
+		if inLocal || s.cfg.Data.HasReplica(id, s.cfg.Name) {
+			continue
+		}
+		nodes, _, err := s.cfg.Data.Locate(id)
+		if err != nil || len(nodes) == 0 {
+			continue
+		}
+		sizeMB, ok := s.cfg.Data.SizeMB(id)
+		if !ok || sizeMB <= 0 {
+			continue
+		}
+		best := math.MaxFloat64
+		for _, n := range nodes {
+			if sec := s.predictTransfer(n, sizeMB); sec < best {
+				best = sec
+			}
+		}
+		if best < math.MaxFloat64 {
+			total += best
+		}
+	}
+	return total
+}
+
+// predictTransfer prices moving sizeMB from a node to this SeD: the trusted
+// per-pair bandwidth model when one exists, else the fallback bandwidth.
+func (s *SeD) predictTransfer(from string, sizeMB float64) float64 {
+	if s.cfg.Transfers != nil {
+		if sec, conf, ok := s.cfg.Transfers.Predict(from, s.cfg.Name, sizeMB); ok &&
+			conf >= scheduler.DefaultMinConfidence {
+			return sec
+		}
+	}
+	mbps := s.cfg.DataFallbackMBps
+	if mbps <= 0 {
+		mbps = defaultDataFallbackMBps
+	}
+	return sizeMB / mbps
 }
 
 // Solve queues the profile, waits for a slot, runs the solve function and
@@ -769,10 +876,14 @@ func (s *SeD) ForecastAccuracy() map[string]ForecastAccuracy {
 }
 
 // resolvePersistent fills IN/INOUT arguments that reference server-resident
-// data by DataID.
+// data by DataID: from this SeD's own store first, then — when the SeD is
+// data-wired — fetched through the platform catalog. The catalog fetch
+// measures the transfer (training the bandwidth models) and mints a local
+// replica for persistent-data reuse, so a parameter sweep pays the movement
+// once. Fetches run outside the service-table lock: they are rpc calls.
 func (s *SeD) resolvePersistent(p *Profile) {
+	var fetchIdx []int
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i := range p.Args {
 		a := &p.Args[i]
 		if p.Direction(i) == Out || a.Persist == Volatile {
@@ -781,16 +892,40 @@ func (s *SeD) resolvePersistent(p *Profile) {
 		if a.DataID != "" && len(a.Data) == 0 {
 			if stored, ok := s.dataStore[a.DataID]; ok {
 				a.Data = stored
+			} else if s.cfg.Data != nil {
+				fetchIdx = append(fetchIdx, i)
 			}
 		}
+	}
+	s.mu.Unlock()
+	for _, i := range fetchIdx {
+		id := p.Args[i].DataID
+		it, err := s.cfg.Data.FetchTo(id, s.cfg.Name)
+		if err != nil {
+			// Leave the argument unresolved; the solve function decides
+			// whether it can proceed without the bytes.
+			publish(s.cfg.Events, "SeD:"+s.cfg.Name, "data_fetch_failed", id+": "+err.Error())
+			continue
+		}
+		s.mu.Lock()
+		p.Args[i].Data = it.Data
+		s.dataStore[id] = it.Data
+		s.mu.Unlock()
 	}
 }
 
 // storePersistent keeps persistent/sticky INOUT and OUT data on the server,
-// addressable by DataID in later calls.
+// addressable by DataID in later calls. When the SeD is data-wired the datum
+// also lands in its node store and is published to the catalog, so later
+// requests anywhere on the platform can locate, price and fetch it.
 func (s *SeD) storePersistent(p *Profile) {
+	type produced struct {
+		id   string
+		mode dataman.Mode
+		data []byte
+	}
+	var out []produced
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i := range p.Args {
 		a := &p.Args[i]
 		if a.Persist == Volatile || p.Direction(i) == In {
@@ -800,6 +935,25 @@ func (s *SeD) storePersistent(p *Profile) {
 			a.DataID = fmt.Sprintf("%s/%s/%d/%d", s.cfg.Name, p.Service, s.solved, i)
 		}
 		s.dataStore[a.DataID] = a.Data
+		if s.cfg.Data != nil {
+			mode := dataman.Persistent
+			if a.Persist == Sticky {
+				mode = dataman.Sticky
+			}
+			out = append(out, produced{id: a.DataID, mode: mode, data: a.Data})
+		}
+	}
+	s.mu.Unlock()
+	for _, d := range out {
+		// Best-effort: a catalog refusal (e.g. the ID was repinned sticky
+		// elsewhere) leaves the datum server-resident like before.
+		if err := s.dataNode.Put(d.id, d.mode, d.data); err != nil {
+			continue
+		}
+		if err := s.cfg.Data.Publish(d.id, s.cfg.Name, d.mode); err != nil {
+			s.dataNode.Delete(d.id)
+			publish(s.cfg.Events, "SeD:"+s.cfg.Name, "data_publish_failed", d.id+": "+err.Error())
+		}
 	}
 }
 
@@ -855,6 +1009,13 @@ func (s *SeD) handler() rpc.Handler {
 				return nil, err
 			}
 			return rpc.Encode(s.Estimate(service))
+		},
+		"EstimateFor": func(body []byte) ([]byte, error) {
+			var q EstimateQuery
+			if err := rpc.Decode(body, &q); err != nil {
+				return nil, err
+			}
+			return rpc.Encode(s.EstimateFor(q))
 		},
 		"Solve": func(body []byte) ([]byte, error) {
 			var p Profile

@@ -58,7 +58,10 @@ func (f *ForecastAware) Rank(req Request, ests []Estimate) []int {
 		if cap < 1 {
 			cap = 1
 		}
-		return pending * forecastDur(e, work, f.MinConfidence) / cap
+		// Input transfer happens once, before the compute, so it adds to the
+		// completion time rather than scaling with the queue. Data-local
+		// servers carry 0 here and win the ties they used to lose.
+		return pending*forecastDur(e, work, f.MinConfidence)/cap + e.InputTransferSeconds
 	}
 	sort.SliceStable(base, func(a, b int) bool { return score(ests[base[a]]) < score(ests[base[b]]) })
 	return base
@@ -105,7 +108,9 @@ func (c *ContentionAware) Rank(req Request, ests []Estimate) []int {
 			// (and ultimately PowerAware's) view.
 			wait = float64(e.QueueLen+e.Running) * dur / cap
 		}
-		return wait + dur
+		// The third dimension of the estimate: compute + wait + the predicted
+		// time for the input data to arrive (0 when data-local).
+		return wait + dur + e.InputTransferSeconds
 	}
 	sort.SliceStable(base, func(a, b int) bool { return score(ests[base[a]]) < score(ests[base[b]]) })
 	return base

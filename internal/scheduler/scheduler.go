@@ -35,6 +35,13 @@ type Estimate struct {
 	ForecastPerGFlopS  float64 // least-squares slope, seconds per GFlop (0 = no fit)
 	ForecastConfidence float64 // (0,1]; decays as the history goes stale
 	PendingWorkSeconds float64 // predicted time to drain running+queued work
+
+	// Data-aware extension (internal/dataman + cori.TransferMonitor):
+	// predicted seconds to move the request's input data to this server from
+	// its nearest replicas. 0 means data-local or no registered inputs, so a
+	// platform without datasets ranks exactly as it did before the field
+	// existed — the data-blind contract.
+	InputTransferSeconds float64
 }
 
 // DefaultMinConfidence is the staleness floor shared by the forecast-aware
